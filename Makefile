@@ -1,0 +1,37 @@
+# Convenience targets for the memwall reproduction.
+
+GO ?= go
+
+.PHONY: all build test bench vet fmt figures paper selfcheck clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+# Regenerate every table and figure of the paper on stdout.
+paper:
+	$(GO) run ./cmd/memwall all
+
+# Render Figures 1, 3, and 4 as SVG under ./figures.
+figures:
+	$(GO) run ./cmd/memplot
+
+# Cross-simulator invariant battery (slow).
+selfcheck:
+	$(GO) run ./cmd/memwall selfcheck
+
+clean:
+	rm -rf figures test_output.txt bench_output.txt

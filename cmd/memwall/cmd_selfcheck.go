@@ -1,0 +1,199 @@
+// The selfcheck subcommand: a battery of cross-simulator invariants run
+// over every workload, verifying the relationships the reproduction's
+// conclusions rest on. Any FAIL indicates a simulator defect, not a
+// calibration difference.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"memwall/internal/cache"
+	"memwall/internal/core"
+	"memwall/internal/mtc"
+	"memwall/internal/workload"
+)
+
+func init() {
+	register("selfcheck", "run cross-simulator invariant checks over all workloads", runSelfcheck)
+}
+
+type checkResult struct {
+	name   string
+	passed int
+	failed []string
+}
+
+func runSelfcheck(args []string) error {
+	fs := flag.NewFlagSet("selfcheck", flag.ContinueOnError)
+	scale := scaleFlag(fs)
+	cacheScale := cacheScaleFlag(fs)
+	timing := fs.Bool("timing", true, "include the (slower) timing-model checks")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	progs := map[string]*workload.Program{}
+	for _, name := range workload.Names() {
+		p, err := workload.Generate(name, *scale)
+		if err != nil {
+			return err
+		}
+		progs[name] = p
+	}
+
+	var results []checkResult
+
+	// Check 1: the MTC never generates more traffic than the
+	// fully-associative LRU cache of the same size (MIN dominance) —
+	// Equation 6's G >= 1 for the matched configuration.
+	c1 := checkResult{name: "MIN dominance (MTC <= fully-assoc LRU, 4B blocks)"}
+	for name, p := range progs {
+		for _, size := range []int{4 << 10, 32 << 10} {
+			lru, err := cache.New(cache.Config{Size: size, BlockSize: 4, Assoc: 0})
+			if err != nil {
+				return err
+			}
+			lt := lru.Run(p.MemRefs()).TrafficBytes()
+			mt, err := mtc.Simulate(mtc.Config{Size: size, BlockSize: 4, Alloc: mtc.WriteValidate}, p.MemRefs())
+			if err != nil {
+				return err
+			}
+			if mt.TrafficBytes() > lt {
+				c1.failed = append(c1.failed, fmt.Sprintf("%s@%dKB: MTC %d > LRU %d", name, size>>10, mt.TrafficBytes(), lt))
+			} else {
+				c1.passed++
+			}
+		}
+	}
+	results = append(results, c1)
+
+	// Check 2: cache traffic decreases (weakly) with fully-associative
+	// LRU size — the inclusion property.
+	c2 := checkResult{name: "LRU inclusion (traffic non-increasing with size)"}
+	for name, p := range progs {
+		var prev int64 = -1
+		for _, size := range []int{4 << 10, 16 << 10, 64 << 10, 256 << 10} {
+			c, err := cache.New(cache.Config{Size: size, BlockSize: 32, Assoc: 0})
+			if err != nil {
+				return err
+			}
+			cur := c.Run(p.MemRefs()).Misses
+			if prev >= 0 && cur > prev {
+				c2.failed = append(c2.failed, fmt.Sprintf("%s: misses rose %d -> %d at %dKB", name, prev, cur, size>>10))
+			} else {
+				c2.passed++
+			}
+			prev = cur
+		}
+	}
+	results = append(results, c2)
+
+	// Check 3: traffic accounting conservation.
+	c3 := checkResult{name: "traffic conservation (fetch+wb bytes match counters)"}
+	for name, p := range progs {
+		c, err := cache.New(cache.Config{Size: 16 << 10, BlockSize: 32, Assoc: 2})
+		if err != nil {
+			return err
+		}
+		st := c.Run(p.MemRefs())
+		if st.FetchBytes != st.Fetches*32 || st.Fetches != st.Misses {
+			c3.failed = append(c3.failed, name)
+		} else {
+			c3.passed++
+		}
+	}
+	results = append(results, c3)
+
+	// Check 4: deterministic replay — two runs of everything agree.
+	c4 := checkResult{name: "determinism (generation + simulation replay)"}
+	for _, name := range []string{"compress", "swm", "vortex"} {
+		a, err := workload.Generate(name, *scale)
+		if err != nil {
+			return err
+		}
+		if len(a.Insts) != len(progs[name].Insts) {
+			c4.failed = append(c4.failed, name+": generation differs")
+			continue
+		}
+		run := func(p *workload.Program) int64 {
+			c, _ := cache.New(cache.Config{Size: 8 << 10, BlockSize: 32, Assoc: 1})
+			return c.Run(p.MemRefs()).TrafficBytes()
+		}
+		if run(a) != run(progs[name]) {
+			c4.failed = append(c4.failed, name+": simulation differs")
+		} else {
+			c4.passed++
+		}
+	}
+	results = append(results, c4)
+
+	// Check 5 (timing): T_P <= T_I <= T on every machine.
+	if *timing {
+		c5 := checkResult{name: "decomposition ordering (T_P <= T_I <= T, machines A/C/F)"}
+		for _, name := range []string{"espresso", "su2cor", "li", "swim95"} {
+			p := progs[name]
+			for _, expName := range []string{"A", "C", "F"} {
+				m, err := core.MachineByName(p.Suite, expName, *cacheScale)
+				if err != nil {
+					return err
+				}
+				res, err := core.Decompose(m, p.Stream())
+				if err != nil {
+					return err
+				}
+				if err := res.Validate(); err != nil {
+					c5.failed = append(c5.failed, fmt.Sprintf("%s/%s: %v", name, expName, err))
+				} else {
+					c5.passed++
+				}
+			}
+		}
+		results = append(results, c5)
+
+		// Check 6 (timing): wider buses never slow the full system down.
+		c6 := checkResult{name: "bus-width monotonicity (2x width never slower)"}
+		for _, name := range []string{"su2cor", "swm"} {
+			p := progs[name]
+			m, err := core.MachineByName(workload.SPEC92, "F", *cacheScale)
+			if err != nil {
+				return err
+			}
+			base, err := core.Decompose(m, p.Stream())
+			if err != nil {
+				return err
+			}
+			wide := m
+			wide.Mem.L1L2Bus.WidthBytes *= 2
+			wide.Mem.MemBus.WidthBytes *= 2
+			w, err := core.Decompose(wide, p.Stream())
+			if err != nil {
+				return err
+			}
+			if w.T > base.T {
+				c6.failed = append(c6.failed, fmt.Sprintf("%s: %d -> %d cycles", name, base.T, w.T))
+			} else {
+				c6.passed++
+			}
+		}
+		results = append(results, c6)
+	}
+
+	bad := 0
+	for _, r := range results {
+		status := "PASS"
+		if len(r.failed) > 0 {
+			status = "FAIL"
+			bad++
+		}
+		fmt.Printf("[%s] %-55s %d checks\n", status, r.name, r.passed+len(r.failed))
+		for _, f := range r.failed {
+			fmt.Printf("       %s\n", f)
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("%d invariant group(s) failed", bad)
+	}
+	fmt.Println("all invariants hold")
+	return nil
+}

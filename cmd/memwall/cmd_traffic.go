@@ -1,0 +1,353 @@
+// Subcommands for the trace-driven traffic studies: Tables 3, 7, 8, 9 and
+// Figure 4, plus the effective-pin-bandwidth calculations of Equations
+// 5 and 7.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"memwall/internal/cache"
+	"memwall/internal/core"
+	"memwall/internal/mtc"
+	"memwall/internal/tablefmt"
+	"memwall/internal/trace"
+	"memwall/internal/workload"
+)
+
+func init() {
+	register("table3", "Table 3: benchmark reference counts and data-set sizes", runTable3)
+	register("table7", "Table 7: traffic ratios for 1KB-2MB direct-mapped caches", runTable7)
+	register("table8", "Table 8: traffic inefficiencies vs the MTC", runTable8)
+	register("fig4", "Figure 4: total traffic vs cache and MTC size", runFig4)
+	register("table9", "Tables 9-10: inefficiency-gap factor isolation", runTable9)
+	register("epin", "Equations 5 & 7: effective pin bandwidth and its bound", runEpin)
+}
+
+// cacheSizes are the column sizes of Tables 7 and 8.
+var cacheSizes = []int{
+	1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10,
+	64 << 10, 128 << 10, 256 << 10, 512 << 10, 1 << 20, 2 << 20,
+}
+
+func runTable3(args []string) error {
+	fs := flag.NewFlagSet("table3", flag.ContinueOnError)
+	scale := scaleFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	t := tablefmt.New("Table 3: benchmark trace lengths and data sets (surrogates at -scale)",
+		"Benchmark", "suite", "insts (K)", "refs (K)", "data set (KB)")
+	for _, name := range workload.Names() {
+		p, err := workload.Generate(name, *scale)
+		if err != nil {
+			return err
+		}
+		t.AddRow(name, p.Suite.String(),
+			fmt.Sprintf("%.0f", float64(len(p.Insts))/1e3),
+			fmt.Sprintf("%.0f", float64(p.RefCount())/1e3),
+			fmt.Sprintf("%.0f", float64(p.DataSetBytes)/1024))
+	}
+	fmt.Println(t)
+	return nil
+}
+
+// spec92Traces generates the SPEC92 surrogate traces used by the traffic
+// studies (the paper runs Tables 7-9 on SPEC92 only).
+func spec92Traces(scale int) (map[string]*workload.Program, error) {
+	progs := make(map[string]*workload.Program)
+	for _, name := range workload.SuiteNames(workload.SPEC92) {
+		p, err := workload.Generate(name, scale)
+		if err != nil {
+			return nil, err
+		}
+		progs[name] = p
+	}
+	return progs, nil
+}
+
+func runTable7(args []string) error {
+	fs := flag.NewFlagSet("table7", flag.ContinueOnError)
+	scale := scaleFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	progs, err := spec92Traces(*scale)
+	if err != nil {
+		return err
+	}
+	header := []string{"Trace"}
+	for _, sz := range cacheSizes {
+		header = append(header, tablefmt.Bytes(int64(sz)))
+	}
+	t := tablefmt.New("Table 7: traffic ratios for 32-byte block, direct-mapped caches", header...)
+	for _, name := range workload.SuiteNames(workload.SPEC92) {
+		p := progs[name]
+		refs := p.RefCount()
+		row := []string{name}
+		for _, sz := range cacheSizes {
+			cfg := cache.Config{Size: sz, BlockSize: 32, Assoc: 1}
+			res, err := core.MeasureRatio(cfg, p.MemRefs(), refs, p.DataSetBytes)
+			if err != nil {
+				return err
+			}
+			if res.FitsDataSet {
+				row = append(row, "<<<")
+			} else {
+				row = append(row, fmt.Sprintf("%.2f", res.R))
+			}
+		}
+		t.AddRow(row...)
+	}
+	fmt.Println(t)
+	fmt.Println("(\"<<<\" marks caches at least as large as the data set, as in the paper.)")
+	// The paper's Section 4.2 summary statistic: the arithmetic mean of R
+	// over caches >= 64KB and smaller than each benchmark's data set
+	// ("reasonably-sized on-chip caches reduce the traffic from the
+	// processor by about half": mean 0.51).
+	var sum float64
+	var n int
+	for _, name := range workload.SuiteNames(workload.SPEC92) {
+		p := progs[name]
+		for _, sz := range cacheSizes {
+			if sz < 64<<10 || int64(sz) >= p.DataSetBytes {
+				continue
+			}
+			cfg := cache.Config{Size: sz, BlockSize: 32, Assoc: 1}
+			res, err := core.MeasureRatio(cfg, p.MemRefs(), p.RefCount(), p.DataSetBytes)
+			if err != nil {
+				return err
+			}
+			sum += res.R
+			n++
+		}
+	}
+	if n > 0 {
+		fmt.Printf("mean R over >=64KB caches smaller than the data set: %.2f (paper: 0.51)\n", sum/float64(n))
+	}
+	fmt.Println()
+	return nil
+}
+
+func runTable8(args []string) error {
+	fs := flag.NewFlagSet("table8", flag.ContinueOnError)
+	scale := scaleFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	progs, err := spec92Traces(*scale)
+	if err != nil {
+		return err
+	}
+	header := []string{"Trace"}
+	for _, sz := range cacheSizes {
+		header = append(header, tablefmt.Bytes(int64(sz)))
+	}
+	t := tablefmt.New("Table 8: traffic inefficiencies for 32-byte block, direct-mapped caches", header...)
+	for _, name := range workload.SuiteNames(workload.SPEC92) {
+		p := progs[name]
+		row := []string{name}
+		for _, sz := range cacheSizes {
+			cfg := cache.Config{Size: sz, BlockSize: 32, Assoc: 1}
+			res, err := core.MeasureInefficiency(cfg, p.MemRefs(), p.DataSetBytes)
+			if err != nil {
+				return err
+			}
+			if res.FitsDataSet {
+				row = append(row, "<<<")
+			} else {
+				row = append(row, fmt.Sprintf("%.1f", res.G))
+			}
+		}
+		t.AddRow(row...)
+	}
+	fmt.Println(t)
+	return nil
+}
+
+func runFig4(args []string) error {
+	fs := flag.NewFlagSet("fig4", flag.ContinueOnError)
+	scale := scaleFlag(fs)
+	benchList := fs.String("bench", "compress,eqntott,swm", "comma-separated benchmarks to plot")
+	plot := fs.Bool("plot", true, "render ASCII plots")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	blockSizes := []int{4, 8, 16, 32, 64, 128}
+	for _, name := range strings.Split(*benchList, ",") {
+		name = strings.TrimSpace(name)
+		p, err := workload.Generate(name, *scale)
+		if err != nil {
+			return err
+		}
+		header := []string{"config"}
+		for _, sz := range cacheSizes {
+			header = append(header, tablefmt.Bytes(int64(sz)))
+		}
+		t := tablefmt.New(fmt.Sprintf("Figure 4 (%s): total traffic (KB) by cache/MTC size", name), header...)
+		pl := tablefmt.Plot{
+			Title:  fmt.Sprintf("Figure 4 (%s): traffic vs size, log-log", name),
+			XLabel: "bytes", LogX: true, LogY: true, Height: 16,
+		}
+		for _, bs := range blockSizes {
+			row := []string{fmt.Sprintf("4-way %dB blocks", bs)}
+			var xs, ys []float64
+			for _, sz := range cacheSizes {
+				if sz < bs*8 {
+					row = append(row, "-")
+					continue
+				}
+				cfg := cache.Config{Size: sz, BlockSize: bs, Assoc: 4}
+				c, err := cache.New(cfg)
+				if err != nil {
+					return err
+				}
+				st := c.Run(p.MemRefs())
+				kb := float64(st.TrafficBytes()) / 1024
+				row = append(row, fmt.Sprintf("%.0f", kb))
+				xs = append(xs, float64(sz))
+				ys = append(ys, kb)
+			}
+			t.AddRow(row...)
+			pl.Add(tablefmt.Series{Name: fmt.Sprintf("%dB blocks", bs), X: xs, Y: ys})
+		}
+		for _, m := range []struct {
+			label string
+			alloc mtc.AllocPolicy
+		}{
+			{"MTC write-allocate", mtc.WriteAllocate},
+			{"MTC write-validate", mtc.WriteValidate},
+		} {
+			row := []string{m.label}
+			var xs, ys []float64
+			for _, sz := range cacheSizes {
+				st, err := mtc.Simulate(mtc.Config{Size: sz, BlockSize: trace.WordSize, Alloc: m.alloc}, p.MemRefs())
+				if err != nil {
+					return err
+				}
+				kb := float64(st.TrafficBytes()) / 1024
+				row = append(row, fmt.Sprintf("%.0f", kb))
+				xs = append(xs, float64(sz))
+				ys = append(ys, kb)
+			}
+			t.AddRow(row...)
+			pl.Add(tablefmt.Series{Name: m.label, X: xs, Y: ys})
+		}
+		fmt.Println(t)
+		if *plot {
+			fmt.Println(pl.String())
+		}
+	}
+	return nil
+}
+
+func runTable9(args []string) error {
+	fs := flag.NewFlagSet("table9", flag.ContinueOnError)
+	scale := scaleFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	progs, err := spec92Traces(*scale)
+	if err != nil {
+		return err
+	}
+	names := workload.SuiteNames(workload.SPEC92)
+	header := []string{"Factor"}
+	header = append(header, names...)
+	t := tablefmt.New("Table 9: inefficiency gap for different optimizations (64KB caches; 16KB espresso)", header...)
+	// Print the experiment-pair legend (Table 10) first.
+	legend := tablefmt.New("Table 10: experimental parameters",
+		"Factor", "Exp1", "Exp2")
+	for _, spec := range core.Factors(64 << 10) {
+		legend.AddRow(spec.Name, spec.Exp1.Label, spec.Exp2.Label)
+	}
+	fmt.Println(legend)
+
+	rows := map[string][]string{}
+	var factorOrder []string
+	for _, name := range names {
+		p := progs[name]
+		size := 64 << 10
+		if name == "espresso" {
+			size = 16 << 10 // the paper shrinks espresso's cache to fit its data set
+		}
+		ref, err := mtc.Simulate(mtc.Config{Size: size, BlockSize: trace.WordSize, Alloc: mtc.WriteValidate}, p.MemRefs())
+		if err != nil {
+			return err
+		}
+		for _, spec := range core.Factors(size) {
+			res, err := core.MeasureFactor(spec, p.MemRefs(), ref.TrafficBytes())
+			if err != nil {
+				return err
+			}
+			if _, seen := rows[spec.Name]; !seen {
+				factorOrder = append(factorOrder, spec.Name)
+			}
+			rows[spec.Name] = append(rows[spec.Name], fmt.Sprintf("%.1f", res.DeltaG))
+		}
+	}
+	for _, f := range factorOrder {
+		t.AddRow(append([]string{f}, rows[f]...)...)
+	}
+	fmt.Println(t)
+	return nil
+}
+
+func runEpin(args []string) error {
+	fs := flag.NewFlagSet("epin", flag.ContinueOnError)
+	scale := scaleFlag(fs)
+	pinBW := fs.Float64("pinbw", 1600, "raw pin bandwidth in MB/s (R10000-class package)")
+	size := fs.Int("cachekb", 64, "on-chip L1 size in KB")
+	l2kb := fs.Int("l2kb", 0, "optional on-chip L2 size in KB (0 = single level); Eq. 5 then uses R1*R2")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	progs, err := spec92Traces(*scale)
+	if err != nil {
+		return err
+	}
+	t := tablefmt.New(fmt.Sprintf("Effective pin bandwidth, %dKB on-chip cache, B_pin=%.0f MB/s", *size, *pinBW),
+		"Benchmark", "R", "E_pin (MB/s)", "G", "OE_pin (MB/s)")
+	var rs, gs []float64
+	for _, name := range workload.SuiteNames(workload.SPEC92) {
+		p := progs[name]
+		cfg := cache.Config{Size: *size << 10, BlockSize: 32, Assoc: 1}
+		rr, err := core.MeasureRatio(cfg, p.MemRefs(), p.RefCount(), p.DataSetBytes)
+		if err != nil {
+			return err
+		}
+		ir, err := core.MeasureInefficiency(cfg, p.MemRefs(), p.DataSetBytes)
+		if err != nil {
+			return err
+		}
+		if rr.FitsDataSet {
+			t.AddRow(name, "<<<", "-", "-", "-")
+			continue
+		}
+		ratios := []float64{rr.R}
+		if *l2kb > 0 {
+			hier, err := cache.NewHierarchy(
+				cache.Config{Size: *size << 10, BlockSize: 32, Assoc: 1},
+				cache.Config{Size: *l2kb << 10, BlockSize: 64, Assoc: 4},
+			)
+			if err != nil {
+				return err
+			}
+			ratios = hier.Run(p.MemRefs())
+		}
+		epin := core.EffectivePinBandwidth(*pinBW, ratios...)
+		oepin := core.OptimalEffectivePinBandwidth(*pinBW, []float64{ir.G}, []float64{rr.R})
+		t.AddRow(name,
+			fmt.Sprintf("%.2f", rr.R),
+			fmt.Sprintf("%.0f", epin),
+			fmt.Sprintf("%.1f", ir.G),
+			fmt.Sprintf("%.0f", oepin))
+		rs = append(rs, rr.R)
+		gs = append(gs, ir.G)
+	}
+	fmt.Println(t)
+	fmt.Println("E_pin = B_pin / R (Eq. 5); OE_pin = B_pin * G / R (Eq. 7).")
+	fmt.Println()
+	return nil
+}

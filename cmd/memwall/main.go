@@ -1,0 +1,106 @@
+// Command memwall regenerates every table and figure of Burger, Goodman &
+// Kägi, "Memory Bandwidth Limitations of Future Microprocessors" (ISCA
+// 1996) on synthetic SPEC92/SPEC95 surrogate workloads.
+//
+// Usage:
+//
+//	memwall <command> [flags]
+//
+// Commands:
+//
+//	fig1         Figure 1: pin/performance/bandwidth trends 1978–1997
+//	table2       Table 2: I/O-complexity growth rates (+ measured check)
+//	fig2         Figure 2: processing vs bandwidth trend curves
+//	table3       Table 3: benchmark reference counts and data-set sizes
+//	fig3         Figure 3: execution-time decomposition, experiments A–F
+//	table1       Table 1: measured direction of f_P/f_L/f_B under changes
+//	table6       Table 6: latency vs bandwidth stalls, experiments A vs F
+//	table7       Table 7: traffic ratios for 1KB–2MB direct-mapped caches
+//	table8       Table 8: traffic inefficiencies vs the MTC
+//	fig4         Figure 4: total traffic vs cache and MTC size
+//	table9       Tables 9–10: inefficiency-gap factor isolation
+//	epin         Equations 5 & 7: effective pin bandwidth and its bound
+//	extrapolate  Section 4.3: the processor of 2006
+//	all          run everything above in order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// command is one CLI subcommand.
+type command struct {
+	name  string
+	brief string
+	run   func(args []string) error
+}
+
+var commands []command
+
+func register(name, brief string, run func(args []string) error) {
+	commands = append(commands, command{name, brief, run})
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: memwall <command> [flags]\n\ncommands:\n")
+	sorted := append([]command(nil), commands...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].name < sorted[j].name })
+	for _, c := range sorted {
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", c.name, c.brief)
+	}
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	name := os.Args[1]
+	if name == "all" {
+		order := []string{
+			"fig1", "table2", "fig2", "table3", "fig3", "table1",
+			"table6", "table7", "table8", "fig4", "table9", "epin",
+			"extrapolate", "buses", "cmp", "ablate", "future", "scratchpad",
+		}
+		for _, n := range order {
+			if err := dispatch(n, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "memwall %s: %v\n", n, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	if err := dispatch(name, os.Args[2:]); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "memwall %s: %v\n", name, err)
+		os.Exit(1)
+	}
+}
+
+func dispatch(name string, args []string) error {
+	for _, c := range commands {
+		if c.name == name {
+			return c.run(args)
+		}
+	}
+	usage()
+	return fmt.Errorf("unknown command %q", name)
+}
+
+// scaleFlag adds the common -scale flag to a FlagSet.
+func scaleFlag(fs *flag.FlagSet) *int {
+	return fs.Int("scale", 1, "workload trace-length multiplier (1 = fast; larger approaches the paper's Table 3 reference counts)")
+}
+
+// cacheScaleFlag adds the common -cachescale flag used by the timing
+// experiments: the surrogate data sets are size-reduced relative to SPEC,
+// so the default shrinks the Table 4 caches by the same factor to keep
+// the data-set-to-cache ratios (pass 1 for the paper-exact sizes).
+func cacheScaleFlag(fs *flag.FlagSet) *int {
+	return fs.Int("cachescale", 16, "divide Table 4 cache sizes by this factor (1 = paper-exact)")
+}

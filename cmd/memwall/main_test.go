@@ -1,0 +1,255 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(r)
+		done <- buf.String()
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if ferr != nil {
+		t.Fatalf("command failed: %v", ferr)
+	}
+	return out
+}
+
+func TestDispatchUnknown(t *testing.T) {
+	if err := dispatch("definitely-not-a-command", nil); err == nil {
+		t.Error("unknown command accepted")
+	}
+}
+
+func TestAllCommandsRegistered(t *testing.T) {
+	want := []string{
+		"fig1", "table2", "fig2", "table3", "fig3", "table1", "table6",
+		"table7", "table8", "fig4", "table9", "epin", "extrapolate",
+	}
+	have := map[string]bool{}
+	for _, c := range commands {
+		have[c.name] = true
+		if c.brief == "" {
+			t.Errorf("command %s has no description", c.name)
+		}
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("command %s not registered", w)
+		}
+	}
+}
+
+func TestFig1Output(t *testing.T) {
+	out := capture(t, func() error { return runFig1([]string{"-plot=false"}) })
+	for _, want := range []string{"8086", "PA8000", "pins", "16%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig1 output missing %q", want)
+		}
+	}
+}
+
+func TestTable2Output(t *testing.T) {
+	out := capture(t, func() error { return runTable2(nil) })
+	for _, want := range []string{"TMM", "Stencil", "FFT", "Sort", "sqrt(k)", "log2(k)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table2 output missing %q", want)
+		}
+	}
+}
+
+func TestFig2Output(t *testing.T) {
+	out := capture(t, func() error { return runFig2(nil) })
+	if !strings.Contains(out, "1984") || !strings.Contains(out, "gap(1)") {
+		t.Error("fig2 output incomplete")
+	}
+}
+
+func TestTable3Output(t *testing.T) {
+	out := capture(t, func() error { return runTable3(nil) })
+	for _, want := range []string{"compress", "vortex", "SPEC92", "SPEC95"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table3 output missing %q", want)
+		}
+	}
+}
+
+func TestExtrapolateOutput(t *testing.T) {
+	out := capture(t, func() error { return runExtrapolate(nil) })
+	if !strings.Contains(out, "factor of 25") {
+		t.Error("extrapolate output missing the paper's headline")
+	}
+}
+
+func TestTable7Output(t *testing.T) {
+	out := capture(t, func() error { return runTable7(nil) })
+	if !strings.Contains(out, "compress") || !strings.Contains(out, "<<<") {
+		t.Error("table7 output incomplete")
+	}
+}
+
+func TestTable8Output(t *testing.T) {
+	out := capture(t, func() error { return runTable8(nil) })
+	if !strings.Contains(out, "inefficienc") {
+		t.Error("table8 output incomplete")
+	}
+}
+
+func TestTable9Output(t *testing.T) {
+	out := capture(t, func() error { return runTable9(nil) })
+	for _, want := range []string{"Associativity", "Replacement", "Write validate", "MIN, fa, 4B, WV"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table9 output missing %q", want)
+		}
+	}
+}
+
+func TestEpinOutput(t *testing.T) {
+	out := capture(t, func() error { return runEpin(nil) })
+	if !strings.Contains(out, "E_pin") || !strings.Contains(out, "OE_pin") {
+		t.Error("epin output incomplete")
+	}
+}
+
+func TestFig4Output(t *testing.T) {
+	out := capture(t, func() error { return runFig4([]string{"-bench", "espresso", "-plot=false"}) })
+	if !strings.Contains(out, "MTC write-validate") || !strings.Contains(out, "4-way 32B blocks") {
+		t.Error("fig4 output incomplete")
+	}
+}
+
+func TestFig3Output(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing simulation")
+	}
+	out := capture(t, func() error { return runFig3([]string{"-suite", "92"}) })
+	for _, want := range []string{"f_P", "f_L", "f_B", "espresso", "su2cor"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig3 output missing %q", want)
+		}
+	}
+}
+
+func TestTable6Output(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing simulation")
+	}
+	out := capture(t, func() error { return runTable6([]string{"-suite", "92"}) })
+	if !strings.Contains(out, "f_B>f_L") {
+		t.Error("table6 output incomplete")
+	}
+}
+
+func TestTable1Output(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing simulation")
+	}
+	out := capture(t, func() error { return runTable1([]string{"-bench", "espresso"}) })
+	for _, want := range []string{"blocking cache", "tagged prefetching", "out-of-order core"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 output missing %q", want)
+		}
+	}
+}
+
+func TestParseSuite(t *testing.T) {
+	if _, err := parseSuite("nope"); err == nil {
+		t.Error("bad suite accepted")
+	}
+	for _, s := range []string{"92", "spec92", "SPEC92", "95", "spec95", "SPEC95"} {
+		if _, err := parseSuite(s); err != nil {
+			t.Errorf("parseSuite(%q): %v", s, err)
+		}
+	}
+}
+
+func TestTimingBenchmarksOmitDnasa2(t *testing.T) {
+	for _, n := range timingBenchmarks(0) { // SPEC92
+		if n == "dnasa2" {
+			t.Error("dnasa2 must not appear in the Figure 3 SPEC92 panel")
+		}
+	}
+}
+
+func TestAblateOutput(t *testing.T) {
+	out := capture(t, func() error { return runAblate([]string{"-bench", "espresso", "-kb", "16"}) })
+	for _, want := range []string{"4B sector", "write-validate", "MTC+clean-pref"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablate output missing %q", want)
+		}
+	}
+}
+
+func TestCMPOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing simulation")
+	}
+	out := capture(t, func() error { return runCMP([]string{"-bench", "espresso", "-cores", "2"}) })
+	for _, want := range []string{"cores", "per-core slowdown", "aggregate IPC"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cmp output missing %q", want)
+		}
+	}
+}
+
+func TestExportHeadlineOutput(t *testing.T) {
+	out := capture(t, func() error { return runExport([]string{"-headline", "-notiming"}) })
+	for _, want := range []string{"pinGrowthPct", "bwPerPin2006", "maxInefficiency"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export headline missing %q", want)
+		}
+	}
+}
+
+func TestFutureOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing simulation")
+	}
+	out := capture(t, func() error { return runFuture([]string{"-bench", "espresso", "-generations", "1"}) })
+	for _, want := range []string{"Faster processors", "Adding on-chip memory", "clock x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("future output missing %q", want)
+		}
+	}
+}
+
+func TestBusesOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing simulation")
+	}
+	out := capture(t, func() error { return runBuses([]string{"-bench", "espresso"}) })
+	if !strings.Contains(out, "f_B(mem bus)") || !strings.Contains(out, "interaction") {
+		t.Error("buses output incomplete")
+	}
+}
+
+func TestScratchpadOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing simulation")
+	}
+	out := capture(t, func() error {
+		return runScratchpad([]string{"-bench", "espresso", "-kb", "64"})
+	})
+	for _, want := range []string{"region on chip", "(none)", "best single placement"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scratchpad output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+// Decomposition study: sweep all six machines (A-F) over a set of
+// benchmarks and show how each latency-tolerance mechanism trades
+// latency stalls for bandwidth stalls — a programmatic version of the
+// paper's Figure 3.
+//
+// Run with:
+//
+//	go run ./examples/decomposition [-bench su2cor,swm,...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"memwall"
+)
+
+func main() {
+	benchList := flag.String("bench", "eqntott,su2cor,swm", "comma-separated workloads")
+	flag.Parse()
+
+	fmt.Println("machine legend (paper Table 5):")
+	fmt.Println("  A in-order + blocking caches       B A with doubled block sizes")
+	fmt.Println("  C A with lockup-free caches        D out-of-order (RUU) core")
+	fmt.Println("  E D + tagged prefetching           F E + bigger window, faster clock")
+	fmt.Println()
+
+	for _, name := range strings.Split(*benchList, ",") {
+		name = strings.TrimSpace(name)
+		prog, err := memwall.GenerateWorkload(name, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n", name)
+		fmt.Printf("  %-3s  %8s  %6s  %6s  %6s   %s\n", "exp", "cycles", "f_P", "f_L", "f_B", "stall profile")
+		for _, exp := range memwall.Experiments() {
+			res, err := memwall.RunExperiment(exp, prog)
+			if err != nil {
+				log.Fatal(err)
+			}
+			bar := func(f float64, ch byte) string {
+				return strings.Repeat(string(ch), int(f*40))
+			}
+			fmt.Printf("  %-3s  %8d  %6.2f  %6.2f  %6.2f   %s%s%s\n",
+				exp, res.T, res.FP(), res.FL(), res.FB(),
+				bar(res.FP(), '#'), bar(res.FL(), 'L'), bar(res.FB(), 'B'))
+		}
+		fmt.Println()
+	}
+	fmt.Println("(# processing, L latency stalls, B bandwidth stalls)")
+}

@@ -1,0 +1,52 @@
+// Quickstart: generate a workload, measure how much a conventional cache
+// and an optimally-managed cache (MTC) filter its traffic, and decompose
+// its execution time on the paper's least and most aggressive machines.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"memwall"
+)
+
+func main() {
+	prog, err := memwall.GenerateWorkload("compress", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %s: %d dynamic instructions, %d data refs, %.0f KB data\n",
+		prog.Name, len(prog.Insts), prog.RefCount(), float64(prog.DataSetBytes)/1024)
+
+	// Section 4: traffic ratio and effective pin bandwidth of a 64 KB
+	// direct-mapped cache (Table 7's configuration).
+	tr, err := memwall.MeasureTraffic(prog, 64<<10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const pinBW = 1600.0 // MB/s, an R10000-class package
+	fmt.Printf("\n64KB cache: miss rate %.1f%%, traffic ratio R = %.2f\n",
+		tr.MissRate*100, tr.TrafficRatio)
+	fmt.Printf("effective pin bandwidth  E_pin = %.0f MB/s (Eq. 5)\n",
+		memwall.EffectivePinBandwidth(pinBW, tr.TrafficRatio))
+	fmt.Printf("traffic inefficiency     G     = %.1f (Eq. 6)\n", tr.Inefficiency)
+	fmt.Printf("optimal bound            OE_pin= %.0f MB/s (Eq. 7)\n",
+		memwall.OptimalEffectivePinBandwidth(pinBW, tr.Inefficiency, tr.TrafficRatio))
+
+	// Section 3: execution-time decomposition on experiments A and F.
+	fmt.Println("\nexecution-time decomposition (Section 3):")
+	for _, exp := range []string{"A", "F"} {
+		res, err := memwall.RunExperiment(exp, prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  experiment %s: f_P=%.2f f_L=%.2f f_B=%.2f (IPC %.2f)\n",
+			exp, res.FP(), res.FL(), res.FB(), res.Full.IPC())
+	}
+	fmt.Println("\nThe paper's thesis: moving from A to F (latency tolerance) shifts")
+	fmt.Println("stall time from raw latency (f_L) to insufficient bandwidth (f_B).")
+}

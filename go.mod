@@ -1,0 +1,3 @@
+module memwall
+
+go 1.24

@@ -1,0 +1,128 @@
+// Golden regression tests: the entire pipeline — workload generation,
+// cache simulation, MTC simulation — is deterministic, so key cells of
+// the reproduced tables must match these recorded values bit-for-bit.
+// A legitimate change to a generator or simulator policy will move them;
+// update the constants deliberately when that happens.
+package memwall
+
+import (
+	"fmt"
+	"testing"
+
+	"memwall/internal/cache"
+	"memwall/internal/core"
+	"memwall/internal/workload"
+)
+
+// goldenTable7 records R at (benchmark, size) for the Table 7 grid at
+// scale 1 (2 decimal places, as printed by `memwall table7`).
+var goldenTable7 = map[string]map[int]string{
+	"compress": {1 << 10: "3.73", 16 << 10: "1.99", 64 << 10: "1.35", 256 << 10: "0.81"},
+	"dnasa2":   {1 << 10: "5.39", 16 << 10: "2.56", 64 << 10: "0.31"},
+	"eqntott":  {1 << 10: "2.27", 16 << 10: "1.27", 64 << 10: "0.75"},
+	"espresso": {1 << 10: "2.29", 16 << 10: "0.35"},
+	"su2cor":   {1 << 10: "9.60", 16 << 10: "5.69", 64 << 10: "3.42"},
+	"swm":      {1 << 10: "6.37", 16 << 10: "0.76", 64 << 10: "0.76"},
+	"tomcatv":  {1 << 10: "6.64", 16 << 10: "0.84", 64 << 10: "0.84"},
+}
+
+func TestGoldenTable7(t *testing.T) {
+	for name, cells := range goldenTable7 {
+		p, err := workload.Generate(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for size, want := range cells {
+			cfg := cache.Config{Size: size, BlockSize: 32, Assoc: 1}
+			res, err := core.MeasureRatio(cfg, p.MemRefs(), p.RefCount(), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := fmt.Sprintf("%.2f", res.R); got != want {
+				t.Errorf("Table 7 %s @%dKB: R = %s, golden %s", name, size>>10, got, want)
+			}
+		}
+	}
+}
+
+// goldenTable8 records G at 64KB (16KB espresso), 1 decimal place.
+var goldenTable8 = map[string]string{
+	"compress": "5.8",
+	"dnasa2":   "1.8",
+	"eqntott":  "3.6",
+	"espresso": "3.6", // 16KB
+	"su2cor":   "16.9",
+	"swm":      "1.8",
+	"tomcatv":  "1.8",
+}
+
+func TestGoldenTable8(t *testing.T) {
+	for name, want := range goldenTable8 {
+		p, err := workload.Generate(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		size := 64 << 10
+		if name == "espresso" {
+			size = 16 << 10
+		}
+		cfg := cache.Config{Size: size, BlockSize: 32, Assoc: 1}
+		res, err := core.MeasureInefficiency(cfg, p.MemRefs(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fmt.Sprintf("%.1f", res.G); got != want {
+			t.Errorf("Table 8 %s: G = %s, golden %s", name, got, want)
+		}
+	}
+}
+
+// goldenWorkloads pins the generated program sizes: any change to a
+// generator shows up here first.
+var goldenWorkloads = map[string]struct {
+	insts int
+	refs  int64
+}{
+	"compress": {202288, 73215},
+	"espresso": {446154, 90076},
+	"li":       {212765, 64442},
+	"su2cor":   {491520, 245760},
+}
+
+func TestGoldenWorkloadSizes(t *testing.T) {
+	for name, want := range goldenWorkloads {
+		p, err := workload.Generate(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p.Insts) != want.insts || p.RefCount() != want.refs {
+			t.Errorf("%s: %d insts / %d refs, golden %d / %d",
+				name, len(p.Insts), p.RefCount(), want.insts, want.refs)
+		}
+	}
+}
+
+// TestGoldenDecomposition pins the full timing pipeline for one
+// representative cell (su2cor on machine F, cache scale 16).
+func TestGoldenDecomposition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing run")
+	}
+	p, err := workload.Generate("su2cor", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.MachineByName(workload.SPEC92, "F", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Decompose(m, p.Stream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fmt.Sprintf("%.2f/%.2f/%.2f", res.FP(), res.FL(), res.FB())
+	const want = "0.05/0.13/0.82"
+	if got != want {
+		t.Errorf("su2cor/F decomposition = %s, golden %s", got, want)
+	}
+}

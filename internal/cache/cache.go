@@ -1,0 +1,517 @@
+// Package cache implements a trace-driven, single-level cache simulator in
+// the style of DineroIII, which the paper uses for all traffic-ratio
+// measurements (Section 4.1). It models set-associative caches with
+// configurable size, block size, associativity, replacement policy, and
+// write policy, and accounts traffic byte-exactly:
+//
+//   - fetch traffic: bytes loaded from the level below on misses,
+//   - write-back traffic: dirty bytes written to the level below on
+//     eviction and on the end-of-run flush,
+//   - write-through traffic: store words forwarded below on every store
+//     (write-through configurations only).
+//
+// As in the paper, "total traffic ... includes write-back traffic but not
+// request traffic (i.e., addresses)", and the cache is flushed at program
+// completion with the flushed write-backs included in the measurements.
+package cache
+
+import (
+	"fmt"
+
+	"memwall/internal/stats"
+	"memwall/internal/trace"
+)
+
+// ReplPolicy selects the replacement policy within a set.
+type ReplPolicy uint8
+
+const (
+	// LRU evicts the least-recently-used block.
+	LRU ReplPolicy = iota
+	// FIFO evicts the oldest-allocated block.
+	FIFO
+	// Random evicts a pseudo-randomly chosen block (deterministic seed).
+	Random
+)
+
+// String returns the conventional short name of the policy.
+func (p ReplPolicy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case FIFO:
+		return "FIFO"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("ReplPolicy(%d)", uint8(p))
+	}
+}
+
+// WritePolicy selects how stores propagate to the level below.
+type WritePolicy uint8
+
+const (
+	// WriteBack marks blocks dirty and writes them below only on eviction.
+	WriteBack WritePolicy = iota
+	// WriteThrough forwards every store word to the level below.
+	WriteThrough
+)
+
+// String returns "write-back" or "write-through".
+func (p WritePolicy) String() string {
+	if p == WriteThrough {
+		return "write-through"
+	}
+	return "write-back"
+}
+
+// AllocPolicy selects behaviour on store misses.
+type AllocPolicy uint8
+
+const (
+	// WriteAllocate fetches the block on a store miss.
+	WriteAllocate AllocPolicy = iota
+	// NoWriteAllocate sends the store word below without allocating.
+	NoWriteAllocate
+	// WriteValidate allocates on a store miss by overwriting: only the
+	// stored sub-block is marked valid and no fetch occurs (Jouppi's
+	// write-validate policy, which the paper identifies as a large
+	// traffic-reduction opportunity).
+	WriteValidate
+)
+
+// String returns the conventional policy name.
+func (p AllocPolicy) String() string {
+	switch p {
+	case NoWriteAllocate:
+		return "no-write-allocate"
+	case WriteValidate:
+		return "write-validate"
+	default:
+		return "write-allocate"
+	}
+}
+
+// Config describes a cache organisation.
+type Config struct {
+	// Size is the capacity in bytes. Must be a positive multiple of
+	// BlockSize and (with Assoc) yield a power-of-two number of sets.
+	Size int
+	// BlockSize is the line size in bytes; a power of two >= 4.
+	BlockSize int
+	// Assoc is the set associativity. Assoc <= 0 means fully associative.
+	Assoc int
+	// Repl is the replacement policy (default LRU).
+	Repl ReplPolicy
+	// Write is the write policy (default write-back).
+	Write WritePolicy
+	// Alloc is the store-miss policy (default write-allocate).
+	Alloc AllocPolicy
+	// SubBlockSize, when non-zero, enables a sector (sub-block) cache:
+	// the address block is BlockSize bytes but transfers happen in
+	// SubBlockSize units, each with its own valid and dirty bit — the
+	// block/sub-block trade-off of Hill & Smith that the paper's
+	// flexible-transfer-size proposal builds on. Must divide BlockSize
+	// and be a power of two >= 4. Zero means SubBlockSize == BlockSize.
+	SubBlockSize int
+}
+
+// subBlock returns the effective transfer size.
+func (c Config) subBlock() int {
+	if c.SubBlockSize == 0 {
+		return c.BlockSize
+	}
+	return c.SubBlockSize
+}
+
+// String renders the configuration compactly, e.g.
+// "64KB/32B/1-way LRU write-back write-allocate".
+func (c Config) String() string {
+	assoc := fmt.Sprintf("%d-way", c.Assoc)
+	if c.Assoc <= 0 || c.Assoc*c.BlockSize >= c.Size {
+		assoc = "fully-assoc"
+	}
+	return fmt.Sprintf("%s/%dB/%s %s %s %s",
+		sizeLabel(c.Size), c.BlockSize, assoc, c.Repl, c.Write, c.Alloc)
+}
+
+func sizeLabel(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// Validate reports whether the configuration is simulable.
+func (c Config) Validate() error {
+	if c.BlockSize < trace.WordSize || c.BlockSize&(c.BlockSize-1) != 0 {
+		return fmt.Errorf("cache: block size %d must be a power of two >= %d", c.BlockSize, trace.WordSize)
+	}
+	if c.Size <= 0 || c.Size%c.BlockSize != 0 {
+		return fmt.Errorf("cache: size %d must be a positive multiple of block size %d", c.Size, c.BlockSize)
+	}
+	blocks := c.Size / c.BlockSize
+	assoc := c.Assoc
+	if assoc <= 0 || assoc > blocks {
+		assoc = blocks
+	}
+	if blocks%assoc != 0 {
+		return fmt.Errorf("cache: %d blocks not divisible by associativity %d", blocks, assoc)
+	}
+	sets := blocks / assoc
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: number of sets %d must be a power of two", sets)
+	}
+	sb := c.subBlock()
+	if sb < trace.WordSize || sb&(sb-1) != 0 {
+		return fmt.Errorf("cache: sub-block size %d must be a power of two >= %d", sb, trace.WordSize)
+	}
+	if c.BlockSize%sb != 0 {
+		return fmt.Errorf("cache: sub-block size %d must divide block size %d", sb, c.BlockSize)
+	}
+	if c.BlockSize/sb > 64 {
+		return fmt.Errorf("cache: more than 64 sub-blocks per block")
+	}
+	if c.Alloc == WriteValidate && sb != trace.WordSize {
+		return fmt.Errorf("cache: write-validate requires %d-byte sub-blocks, got %d", trace.WordSize, sb)
+	}
+	return nil
+}
+
+// Stats accumulates access and traffic counts.
+type Stats struct {
+	Accesses    int64
+	Reads       int64
+	Writes      int64
+	Misses      int64
+	ReadMisses  int64
+	WriteMisses int64
+	// Fetches counts block fills from below.
+	Fetches int64
+	// WriteBacks counts dirty block evictions written below, including
+	// those forced by the end-of-run flush.
+	WriteBacks int64
+	// FlushWriteBacks is the subset of WriteBacks caused by Flush.
+	FlushWriteBacks int64
+	// FetchBytes, WriteBackBytes, WriteThroughBytes are the corresponding
+	// byte counts of below-level traffic.
+	FetchBytes        int64
+	WriteBackBytes    int64
+	WriteThroughBytes int64
+}
+
+// TrafficBytes returns total traffic to the level below (fetch + write-back
+// + write-through), excluding request/address traffic, as in the paper.
+func (s Stats) TrafficBytes() int64 {
+	return s.FetchBytes + s.WriteBackBytes + s.WriteThroughBytes
+}
+
+// MissRate returns Misses/Accesses (0 if no accesses).
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// line is one cache block frame. Validity and dirtiness are tracked per
+// sub-block; a line is present when any sub-block is valid.
+type line struct {
+	tag   uint64
+	valid uint64 // per-sub-block valid bits
+	dirty uint64 // per-sub-block dirty bits
+	// lastUse is the LRU timestamp; allocTime the FIFO timestamp.
+	lastUse   int64
+	allocTime int64
+}
+
+func (l *line) present() bool { return l.valid != 0 }
+
+// Cache is a single-level trace-driven cache simulator.
+type Cache struct {
+	cfg       Config
+	sets      [][]line
+	setShift  uint
+	setMask   uint64
+	blockMask uint64
+	subSize   int
+	subShift  uint
+	subMask   uint64 // all-valid mask for a full block
+	now       int64
+	rng       *stats.RNG
+	stats     Stats
+}
+
+// New constructs a cache simulator for cfg. It returns an error if the
+// configuration is invalid.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	blocks := cfg.Size / cfg.BlockSize
+	assoc := cfg.Assoc
+	if assoc <= 0 || assoc > blocks {
+		assoc = blocks
+	}
+	nsets := blocks / assoc
+	c := &Cache{
+		cfg:       cfg,
+		sets:      make([][]line, nsets),
+		setMask:   uint64(nsets - 1),
+		blockMask: ^uint64(cfg.BlockSize - 1),
+		rng:       stats.NewRNG(0xC0FFEE),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, assoc)
+	}
+	for shift := cfg.BlockSize; shift > 1; shift >>= 1 {
+		c.setShift++
+	}
+	c.subSize = cfg.subBlock()
+	for sb := c.subSize; sb > 1; sb >>= 1 {
+		c.subShift++
+	}
+	nsub := cfg.BlockSize / c.subSize
+	c.subMask = (uint64(1) << nsub) - 1
+	return c, nil
+}
+
+// subBit returns the valid/dirty bit for the sub-block containing addr.
+func (c *Cache) subBit(addr uint64) uint64 {
+	return 1 << ((addr & ^c.blockMask) >> c.subShift)
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
+	blk := addr >> c.setShift
+	return blk & c.setMask, blk
+}
+
+// lookup returns the way index holding tag in set, or -1.
+func (c *Cache) lookup(set []line, tag uint64) int {
+	for i := range set {
+		if set[i].present() && set[i].tag == tag {
+			return i
+		}
+	}
+	return -1
+}
+
+// victim picks the way to replace in set according to the policy,
+// preferring an invalid way when one exists.
+func (c *Cache) victim(set []line) int {
+	for i := range set {
+		if !set[i].present() {
+			return i
+		}
+	}
+	switch c.cfg.Repl {
+	case FIFO:
+		best := 0
+		for i := 1; i < len(set); i++ {
+			if set[i].allocTime < set[best].allocTime {
+				best = i
+			}
+		}
+		return best
+	case Random:
+		return c.rng.Intn(len(set))
+	default: // LRU
+		best := 0
+		for i := 1; i < len(set); i++ {
+			if set[i].lastUse < set[best].lastUse {
+				best = i
+			}
+		}
+		return best
+	}
+}
+
+// evict writes back the dirty sub-blocks of way w and invalidates it.
+func (c *Cache) evict(set []line, w int, flush bool) {
+	if set[w].present() && set[w].dirty != 0 {
+		c.stats.WriteBacks++
+		c.stats.WriteBackBytes += int64(popcount(set[w].dirty)) * int64(c.subSize)
+		if flush {
+			c.stats.FlushWriteBacks++
+		}
+	}
+	set[w].valid = 0
+	set[w].dirty = 0
+}
+
+// popcount returns the number of set bits in x.
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// fill allocates way w for tag. fetchMask selects the sub-blocks loaded
+// from below (traffic); validMask the sub-blocks marked valid (a
+// write-validate store validates without fetching); dirtyMask the
+// sub-blocks dirtied.
+func (c *Cache) fill(set []line, w int, tag uint64, fetchMask, validMask, dirtyMask uint64) {
+	set[w] = line{tag: tag, valid: validMask, dirty: dirtyMask, lastUse: c.now, allocTime: c.now}
+	if fetchMask != 0 {
+		c.stats.Fetches++
+		c.stats.FetchBytes += int64(popcount(fetchMask)) * int64(c.subSize)
+	}
+}
+
+// Access simulates one reference and reports whether it hit. With
+// sub-blocks enabled, a reference hits only when the line is present AND
+// the addressed sub-block is valid; a present line with an invalid
+// sub-block takes a sub-block miss that fetches just that sub-block.
+func (c *Cache) Access(r trace.Ref) bool {
+	c.now++
+	c.stats.Accesses++
+	isWrite := r.Kind == trace.Write
+	if isWrite {
+		c.stats.Writes++
+	} else {
+		c.stats.Reads++
+	}
+	si, tag := c.index(r.Addr)
+	set := c.sets[si]
+	bit := c.subBit(r.Addr)
+	if w := c.lookup(set, tag); w >= 0 {
+		set[w].lastUse = c.now
+		if set[w].valid&bit != 0 {
+			// Full hit.
+			if isWrite {
+				if c.cfg.Write == WriteThrough {
+					c.stats.WriteThroughBytes += trace.WordSize
+				} else {
+					set[w].dirty |= bit
+				}
+			}
+			return true
+		}
+		// Line present, sub-block invalid: sub-block miss.
+		c.stats.Misses++
+		if isWrite {
+			c.stats.WriteMisses++
+			switch {
+			case c.cfg.Write == WriteThrough:
+				c.stats.WriteThroughBytes += trace.WordSize
+				set[w].valid |= bit
+			case c.cfg.Alloc == WriteValidate:
+				// Overwrite-allocate the sub-block: no fetch.
+				set[w].valid |= bit
+				set[w].dirty |= bit
+			case c.cfg.Alloc == NoWriteAllocate:
+				c.stats.WriteThroughBytes += trace.WordSize
+			default: // write-allocate
+				c.fetchSub(&set[w], bit)
+				set[w].dirty |= bit
+			}
+		} else {
+			c.stats.ReadMisses++
+			c.fetchSub(&set[w], bit)
+		}
+		return false
+	}
+	// Line miss.
+	c.stats.Misses++
+	if isWrite {
+		c.stats.WriteMisses++
+		if c.cfg.Write == WriteThrough {
+			c.stats.WriteThroughBytes += trace.WordSize
+		}
+		if c.cfg.Alloc == NoWriteAllocate {
+			if c.cfg.Write == WriteBack {
+				// The store word goes below directly.
+				c.stats.WriteThroughBytes += trace.WordSize
+			}
+			return false
+		}
+	} else {
+		c.stats.ReadMisses++
+	}
+	w := c.victim(set)
+	c.evict(set, w, false)
+	var fetch, valid, dirty uint64
+	switch {
+	case isWrite && c.cfg.Write == WriteBack && c.cfg.Alloc == WriteValidate:
+		// Allocate by overwriting only the stored sub-block.
+		fetch, valid, dirty = 0, bit, bit
+	case isWrite && c.cfg.Write == WriteBack:
+		// Write-allocate: fetch the addressed sub-block (the whole
+		// block when sub-blocking is off) and dirty the stored word.
+		fetch, valid, dirty = c.allocMask(bit), c.allocMask(bit), bit
+	default:
+		// Read, or write-through allocation.
+		fetch, valid, dirty = c.allocMask(bit), c.allocMask(bit), 0
+	}
+	c.fill(set, w, tag, fetch, valid, dirty)
+	return false
+}
+
+// allocMask returns the sub-blocks transferred on an allocation for the
+// addressed sub-block: the full block in conventional mode, just the
+// addressed sub-block in sector mode.
+func (c *Cache) allocMask(bit uint64) uint64 {
+	if c.subSize == c.cfg.BlockSize {
+		return c.subMask
+	}
+	return bit
+}
+
+// fetchSub loads one additional sub-block into a present line.
+func (c *Cache) fetchSub(l *line, bit uint64) {
+	l.valid |= bit
+	c.stats.Fetches++
+	c.stats.FetchBytes += int64(c.subSize)
+}
+
+// Run replays an entire stream through the cache, flushes it, and resets
+// the stream. It returns the final statistics.
+func (c *Cache) Run(s trace.Stream) Stats {
+	for {
+		r, ok := s.Next()
+		if !ok {
+			break
+		}
+		c.Access(r)
+	}
+	c.Flush()
+	s.Reset()
+	return c.stats
+}
+
+// Flush writes back all dirty blocks and invalidates the cache, as the
+// paper does "upon program completion, writing back all dirty data".
+func (c *Cache) Flush() {
+	for _, set := range c.sets {
+		for w := range set {
+			c.evict(set, w, true)
+		}
+	}
+}
+
+// Contents returns the number of valid blocks currently resident (useful
+// for tests and invariant checks).
+func (c *Cache) Contents() int {
+	n := 0
+	for _, set := range c.sets {
+		for _, l := range set {
+			if l.present() {
+				n++
+			}
+		}
+	}
+	return n
+}

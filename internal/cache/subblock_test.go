@@ -1,0 +1,161 @@
+package cache
+
+import (
+	"testing"
+
+	"memwall/internal/stats"
+)
+
+func TestSubBlockValidate(t *testing.T) {
+	good := Config{Size: 1024, BlockSize: 32, Assoc: 1, SubBlockSize: 8}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid sector config rejected: %v", err)
+	}
+	bad := Config{Size: 1024, BlockSize: 32, Assoc: 1, SubBlockSize: 12}
+	if bad.Validate() == nil {
+		t.Error("non-power-of-two sub-block accepted")
+	}
+	bad2 := Config{Size: 1024, BlockSize: 32, Assoc: 1, SubBlockSize: 64}
+	if bad2.Validate() == nil {
+		t.Error("sub-block larger than block accepted")
+	}
+	bad3 := Config{Size: 4096, BlockSize: 512, Assoc: 1, SubBlockSize: 4}
+	if bad3.Validate() == nil {
+		t.Error(">64 sub-blocks accepted")
+	}
+	wv := Config{Size: 1024, BlockSize: 32, Assoc: 1, Alloc: WriteValidate, SubBlockSize: 8}
+	if wv.Validate() == nil {
+		t.Error("write-validate with 8B sub-blocks accepted (needs word grain)")
+	}
+}
+
+func TestSectorMissFetchesOneSubBlock(t *testing.T) {
+	c := mustNew(t, Config{Size: 1024, BlockSize: 32, Assoc: 1, SubBlockSize: 4})
+	c.Access(read(0x100))
+	st := c.Stats()
+	if st.FetchBytes != 4 {
+		t.Errorf("sector miss fetched %d bytes, want 4", st.FetchBytes)
+	}
+	// Same word: hit. Next word in the same block: sub-block miss.
+	if !c.Access(read(0x100)) {
+		t.Error("re-read should hit")
+	}
+	if c.Access(read(0x104)) {
+		t.Error("neighbouring sub-block should miss")
+	}
+	if st := c.Stats(); st.FetchBytes != 8 {
+		t.Errorf("fetch bytes = %d, want 8", st.FetchBytes)
+	}
+}
+
+func TestSectorWriteBacksDirtySubBlocksOnly(t *testing.T) {
+	c := mustNew(t, Config{Size: 1024, BlockSize: 32, Assoc: 1, SubBlockSize: 4})
+	c.Access(write(0x100)) // one dirty word (write-allocate fetches 4B)
+	c.Flush()
+	st := c.Stats()
+	if st.WriteBackBytes != 4 {
+		t.Errorf("flushed %d bytes, want 4 (one dirty sub-block)", st.WriteBackBytes)
+	}
+}
+
+func TestSectorCacheSavesTrafficOnSparseProbes(t *testing.T) {
+	// Random single-word probes: the 4B-sector cache moves far fewer
+	// bytes than a conventional 32B-block cache of the same size — the
+	// paper's flexible-transfer-size argument.
+	mk := func(sub int) int64 {
+		c, err := New(Config{Size: 8 << 10, BlockSize: 32, Assoc: 1, SubBlockSize: sub})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := stats.NewRNG(11)
+		for i := 0; i < 50000; i++ {
+			c.Access(read(uint64(rng.Intn(1<<18)) &^ 3))
+		}
+		c.Flush()
+		return c.Stats().TrafficBytes()
+	}
+	conventional, sector := mk(0), mk(4)
+	if sector*4 > conventional {
+		t.Errorf("sector traffic %d not well below conventional %d", sector, conventional)
+	}
+}
+
+func TestWriteValidateCacheAvoidsFetch(t *testing.T) {
+	c := mustNew(t, Config{Size: 1024, BlockSize: 32, Assoc: 1, Alloc: WriteValidate, SubBlockSize: 4})
+	c.Access(write(0x100))
+	st := c.Stats()
+	if st.FetchBytes != 0 {
+		t.Errorf("write-validate fetched %d bytes on a store miss", st.FetchBytes)
+	}
+	// The stored word is readable (valid).
+	if !c.Access(read(0x100)) {
+		t.Error("validated word should hit")
+	}
+	// But the neighbouring word was not fetched.
+	if c.Access(read(0x104)) {
+		t.Error("unvalidated neighbour should miss")
+	}
+}
+
+func TestWriteValidateBeatsWriteAllocateOnWriteOnce(t *testing.T) {
+	// Scattered write-once stores (eqntott's output pattern): WV moves
+	// half the bytes of WA or better.
+	mk := func(alloc AllocPolicy, sub int) int64 {
+		c, err := New(Config{Size: 8 << 10, BlockSize: 32, Assoc: 1, Alloc: alloc, SubBlockSize: sub})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := stats.NewRNG(23)
+		for i := 0; i < 30000; i++ {
+			c.Access(write(uint64(rng.Intn(1<<18)) &^ 3))
+		}
+		c.Flush()
+		return c.Stats().TrafficBytes()
+	}
+	wa := mk(WriteAllocate, 4)
+	wv := mk(WriteValidate, 4)
+	if wv*2 > wa {
+		t.Errorf("write-validate traffic %d not well below write-allocate %d", wv, wa)
+	}
+}
+
+func TestSubBlockHitSemantics(t *testing.T) {
+	// A line-present sub-miss must not evict the line's other valid
+	// sub-blocks.
+	c := mustNew(t, Config{Size: 1024, BlockSize: 32, Assoc: 1, SubBlockSize: 4})
+	c.Access(read(0x100))
+	c.Access(read(0x11C)) // other end of the same block
+	if !c.Access(read(0x100)) || !c.Access(read(0x11C)) {
+		t.Error("both sub-blocks should remain valid")
+	}
+}
+
+func TestSectorWriteThrough(t *testing.T) {
+	c := mustNew(t, Config{Size: 1024, BlockSize: 32, Assoc: 1, Write: WriteThrough, SubBlockSize: 4})
+	c.Access(write(0x100)) // line miss: allocate sub, word through
+	c.Access(write(0x104)) // sub miss on a present line: word through, validated
+	st := c.Stats()
+	if st.WriteThroughBytes != 8 {
+		t.Errorf("write-through bytes = %d, want 8", st.WriteThroughBytes)
+	}
+	if !c.Access(read(0x104)) {
+		t.Error("written-through sub-block should be valid")
+	}
+	c.Flush()
+	if c.Stats().WriteBackBytes != 0 {
+		t.Error("write-through sector cache has nothing dirty")
+	}
+}
+
+func TestSectorNoWriteAllocateSubMiss(t *testing.T) {
+	c := mustNew(t, Config{Size: 1024, BlockSize: 32, Assoc: 1, Alloc: NoWriteAllocate, SubBlockSize: 4})
+	c.Access(read(0x100))  // line allocated with one sub
+	c.Access(write(0x104)) // sub miss, no allocation: word below
+	st := c.Stats()
+	if st.WriteThroughBytes != 4 {
+		t.Errorf("store word should go below: %+v", st)
+	}
+	if c.Access(read(0x104)) {
+		t.Error("no-write-allocate must not validate the sub-block")
+	}
+}

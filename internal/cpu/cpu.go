@@ -1,0 +1,135 @@
+// Package cpu implements the processor timing models of the paper's
+// Section 3 experiments: a four-way superscalar in-order core with two
+// load/store units (experiments A–C) and an out-of-order core organised
+// around a Register Update Unit with speculative loads and a load/store
+// queue (experiments D–F), both driven by dynamic instruction streams
+// (internal/isa) against a timing memory hierarchy (internal/mem).
+package cpu
+
+import (
+	"fmt"
+
+	"memwall/internal/isa"
+	"memwall/internal/mem"
+)
+
+// Latency table for operation classes, in cycles. Values follow common
+// mid-1990s pipelines (and SimpleScalar defaults): single-cycle integer
+// ALU, 3-cycle multiply, 2-cycle FP add, 4-cycle FP multiply, 12-cycle FP
+// divide.
+var latency = [...]int64{
+	isa.Nop:    1,
+	isa.IALU:   1,
+	isa.IMul:   3,
+	isa.FAdd:   2,
+	isa.FMul:   4,
+	isa.FDiv:   12,
+	isa.Load:   1, // address generation; memory time comes from the hierarchy
+	isa.Store:  1,
+	isa.Branch: 1,
+}
+
+// Latency returns the execution latency of an op class in cycles.
+func Latency(op isa.Op) int64 { return latency[op] }
+
+// Config parameterises a core.
+type Config struct {
+	// IssueWidth is instructions issued per cycle (4 in all experiments).
+	IssueWidth int
+	// LSUnits is the number of load/store units (2 in all experiments).
+	LSUnits int
+	// OutOfOrder selects the RUU core (experiments D–F) over the
+	// in-order core (experiments A–C).
+	OutOfOrder bool
+	// RUUSlots is the register-update-unit window size (Table 5).
+	// Ignored by the in-order core.
+	RUUSlots int
+	// LSQEntries is the load/store queue size. Ignored by the in-order
+	// core.
+	LSQEntries int
+	// PredictorEntries sizes the two-level branch predictor table
+	// (8K for SPEC92 runs, 16K for SPEC95 runs).
+	PredictorEntries int
+	// MispredictPenalty is the fetch-redirect cost in cycles after a
+	// mispredicted branch resolves.
+	MispredictPenalty int64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.IssueWidth < 1 {
+		return fmt.Errorf("cpu: issue width %d < 1", c.IssueWidth)
+	}
+	if c.LSUnits < 1 {
+		return fmt.Errorf("cpu: load/store units %d < 1", c.LSUnits)
+	}
+	if c.OutOfOrder {
+		if c.RUUSlots < 1 {
+			return fmt.Errorf("cpu: RUU slots %d < 1", c.RUUSlots)
+		}
+		if c.LSQEntries < 1 {
+			return fmt.Errorf("cpu: LSQ entries %d < 1", c.LSQEntries)
+		}
+	}
+	if c.PredictorEntries < 1 {
+		return fmt.Errorf("cpu: predictor entries %d < 1", c.PredictorEntries)
+	}
+	return nil
+}
+
+// Result summarises one timing simulation.
+type Result struct {
+	// Cycles is total execution time in processor cycles.
+	Cycles int64
+	// Insts is the number of dynamic instructions executed.
+	Insts int64
+	// Loads, Stores, Branches count dynamic instruction classes.
+	Loads    int64
+	Stores   int64
+	Branches int64
+	// Mispredicts counts branch mispredictions.
+	Mispredicts int64
+	// Mem is the memory hierarchy's statistics for the run.
+	Mem mem.Stats
+}
+
+// IPC returns instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Insts) / float64(r.Cycles)
+}
+
+// CPI returns cycles per instruction.
+func (r Result) CPI() float64 {
+	if r.Insts == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.Insts)
+}
+
+// Run simulates the instruction stream on a core configured by cfg against
+// hierarchy h, resets the stream, and returns the result.
+func Run(cfg Config, h *mem.Hierarchy, s isa.Stream) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	var r Result
+	if cfg.OutOfOrder {
+		r = runOutOfOrder(cfg, h, s)
+	} else {
+		r = runInOrder(cfg, h, s)
+	}
+	r.Mem = h.Stats()
+	s.Reset()
+	return r, nil
+}
+
+// maxI64 returns the larger of a and b.
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,117 @@
+// The in-order core of experiments A–C: a four-way superscalar,
+// scoreboarded, in-order-issue pipeline with two load/store units and a
+// two-level branch predictor. Loads do not stall the pipeline until a
+// dependent instruction needs their value (classic scoreboarding), so a
+// lockup-free hierarchy (experiment C) can overlap independent misses.
+package cpu
+
+import (
+	"memwall/internal/isa"
+	"memwall/internal/mem"
+)
+
+// inOrder tracks per-cycle issue bookkeeping.
+type inOrder struct {
+	cfg  Config
+	h    *mem.Hierarchy
+	pred Predictor
+
+	regReady [isa.NumRegs]int64
+	cycle    int64 // current issue cycle
+	issued   int   // instructions issued in 'cycle'
+	lsIssued int   // memory ops issued in 'cycle'
+	// fetchReady gates issue after a branch misprediction redirect.
+	fetchReady   int64
+	lastComplete int64
+}
+
+// advanceTo moves the issue point to cycle c (if later), resetting the
+// per-cycle slot counters.
+func (p *inOrder) advanceTo(c int64) {
+	if c > p.cycle {
+		p.cycle = c
+		p.issued = 0
+		p.lsIssued = 0
+	}
+}
+
+func newInOrder(cfg Config, h *mem.Hierarchy) *inOrder {
+	return &inOrder{
+		cfg:  cfg,
+		h:    h,
+		pred: NewTwoLevel(cfg.PredictorEntries, 12),
+	}
+}
+
+// time reports the core's current issue cycle (for multi-core
+// interleaving).
+func (p *inOrder) time() int64 { return p.cycle }
+
+// finish returns the total cycle count after the last instruction.
+func (p *inOrder) finish() int64 { return maxI64(p.cycle+1, p.lastComplete) }
+
+func runInOrder(cfg Config, h *mem.Hierarchy, s isa.Stream) Result {
+	p := newInOrder(cfg, h)
+	var res Result
+	for {
+		in, ok := s.Next()
+		if !ok {
+			break
+		}
+		res.Insts++
+		p.step(in, &res)
+	}
+	res.Cycles = p.finish()
+	return res
+}
+
+// step issues one instruction, respecting in-order issue, operand
+// readiness, and structural limits.
+func (p *inOrder) step(in isa.Inst, res *Result) {
+	if p.issued >= p.cfg.IssueWidth {
+		p.advanceTo(p.cycle + 1)
+	}
+	ready := p.regReady[in.Src1]
+	if r2 := p.regReady[in.Src2]; r2 > ready {
+		ready = r2
+	}
+	t := maxI64(p.cycle, maxI64(ready, p.fetchReady))
+	p.advanceTo(t)
+	if in.Op.IsMem() {
+		for p.lsIssued >= p.cfg.LSUnits {
+			p.advanceTo(p.cycle + 1)
+		}
+		p.lsIssued++
+	}
+	p.issued++
+
+	var complete int64
+	switch in.Op {
+	case isa.Load:
+		res.Loads++
+		complete = p.h.Load(in.Addr, p.cycle)
+		if in.Dst != 0 {
+			p.regReady[in.Dst] = complete
+		}
+	case isa.Store:
+		res.Stores++
+		complete = p.h.Store(in.Addr, p.cycle)
+	case isa.Branch:
+		res.Branches++
+		resolve := p.cycle + Latency(isa.Branch)
+		if p.pred.Predict(in.PC) != in.Taken {
+			res.Mispredicts++
+			p.fetchReady = resolve + p.cfg.MispredictPenalty
+		}
+		p.pred.Update(in.PC, in.Taken)
+		complete = resolve
+	default:
+		complete = p.cycle + Latency(in.Op)
+		if in.Dst != 0 {
+			p.regReady[in.Dst] = complete
+		}
+	}
+	if complete > p.lastComplete {
+		p.lastComplete = complete
+	}
+}

@@ -1,0 +1,238 @@
+// The out-of-order core of experiments D–F, modelled after the Register
+// Update Unit organisation the paper cites (Sohi's RUU): instructions
+// dispatch in order into a finite window, execute when their operands are
+// ready (dataflow order), and retire in order. Loads issue speculatively
+// as soon as their address is available — they do not wait for earlier
+// stores — matching the paper's "out-of-order issue mechanism based on the
+// RUU, with support for speculative loads".
+//
+// The model is event-driven rather than cycle-stepped: for each dynamic
+// instruction it computes dispatch, execute, complete, and retire times
+// under the structural constraints (RUU capacity, LSQ capacity, dispatch
+// and retire width, load/store units) and dependence constraints (operand
+// ready times, branch-misprediction fetch redirect). This is the standard
+// dataflow-with-finite-window approximation of an RUU pipeline.
+package cpu
+
+import (
+	"memwall/internal/isa"
+	"memwall/internal/mem"
+)
+
+// debugHook, when non-nil, receives per-instruction timing (tests only).
+var debugHook func(in isa.Inst, disp, exec, complete int64)
+
+type outOfOrder struct {
+	cfg  Config
+	h    *mem.Hierarchy
+	pred Predictor
+
+	regReady [isa.NumRegs]int64
+
+	// Ring buffers of retire times for window/LSQ occupancy: an
+	// instruction cannot dispatch until the instruction RUUSlots (or
+	// LSQEntries) before it has retired and freed its slot.
+	ruuRetire []int64
+	ruuHead   int
+	lsqRetire []int64
+	lsqHead   int
+
+	// Dispatch bookkeeping: in-order, IssueWidth per cycle, gated by
+	// fetch redirects.
+	dispatchCycle int64
+	dispatched    int
+	fetchReady    int64
+
+	// Load/store unit availability: at most LSUnits memory operations may
+	// issue in any given cycle, in dataflow (not program) order.
+	lsSlots slotSched
+
+	// Retirement bookkeeping: in-order, IssueWidth per cycle.
+	lastRetire   int64
+	retireCycle  int64
+	retiredInCyc int
+}
+
+func newOutOfOrder(cfg Config, h *mem.Hierarchy) *outOfOrder {
+	return &outOfOrder{
+		cfg:       cfg,
+		h:         h,
+		pred:      NewTwoLevel(cfg.PredictorEntries, 12),
+		ruuRetire: make([]int64, cfg.RUUSlots),
+		lsqRetire: make([]int64, cfg.LSQEntries),
+		lsSlots:   newSlotSched(cfg.LSUnits),
+	}
+}
+
+// time reports the core's current dispatch cycle (for multi-core
+// interleaving).
+func (p *outOfOrder) time() int64 { return p.dispatchCycle }
+
+// finish returns the total cycle count after the last instruction.
+func (p *outOfOrder) finish() int64 { return maxI64(p.lastRetire, p.dispatchCycle+1) }
+
+func runOutOfOrder(cfg Config, h *mem.Hierarchy, s isa.Stream) Result {
+	p := newOutOfOrder(cfg, h)
+	var res Result
+	for {
+		in, ok := s.Next()
+		if !ok {
+			break
+		}
+		res.Insts++
+		p.step(in, &res)
+	}
+	res.Cycles = p.finish()
+	return res
+}
+
+// dispatchAt computes the in-order dispatch time for the next instruction
+// given a lower bound t, consuming one dispatch slot.
+func (p *outOfOrder) dispatchAt(t int64) int64 {
+	if p.dispatched >= p.cfg.IssueWidth {
+		p.dispatchCycle++
+		p.dispatched = 0
+	}
+	if t > p.dispatchCycle {
+		p.dispatchCycle = t
+		p.dispatched = 0
+	}
+	p.dispatched++
+	return p.dispatchCycle
+}
+
+// slotSched tracks per-cycle issue-slot occupancy for a pipelined
+// functional-unit pool: up to width issues in any cycle. Because the RUU
+// issues in dataflow order, a younger instruction may legitimately claim a
+// slot in an earlier cycle than an older, operand-stalled one — a
+// monotonic "next free time" per unit would wrongly serialise that case.
+type slotSched struct {
+	width int
+	base  int64
+	count []uint16
+}
+
+func newSlotSched(width int) slotSched {
+	return slotSched{width: width, count: make([]uint16, 8192)}
+}
+
+// reserve books one slot at the first cycle >= t with free capacity and
+// returns it.
+func (s *slotSched) reserve(t int64) int64 {
+	if t < s.base {
+		// The window has slid past t; issue at the window start (slots
+		// that far back are assumed free — reservations cluster near the
+		// current dispatch point, so this is rare).
+		t = s.base
+	}
+	for {
+		idx := t - s.base
+		if idx >= int64(len(s.count)) {
+			// Slide the window forward, keeping recent occupancy.
+			shift := idx - int64(len(s.count))/2
+			if shift >= int64(len(s.count)) {
+				// The jump clears the whole window.
+				for i := range s.count {
+					s.count[i] = 0
+				}
+				s.base = t - int64(len(s.count))/2
+				if s.base < 0 {
+					s.base = 0
+				}
+			} else {
+				n := copy(s.count, s.count[shift:])
+				for i := n; i < len(s.count); i++ {
+					s.count[i] = 0
+				}
+				s.base += shift
+			}
+			idx = t - s.base
+		}
+		if int(s.count[idx]) < s.width {
+			s.count[idx]++
+			return t
+		}
+		t++
+	}
+}
+
+// lsUnit reserves a load/store issue slot at or after t, returning the
+// issue time.
+func (p *outOfOrder) lsUnit(t int64) int64 {
+	return p.lsSlots.reserve(t)
+}
+
+// retireAt computes the in-order retire time for an instruction completing
+// at time complete, honouring retire width.
+func (p *outOfOrder) retireAt(complete int64) int64 {
+	t := maxI64(complete, p.lastRetire)
+	if t == p.retireCycle && p.retiredInCyc >= p.cfg.IssueWidth {
+		t++
+	}
+	if t != p.retireCycle {
+		p.retireCycle = t
+		p.retiredInCyc = 0
+	}
+	p.retiredInCyc++
+	p.lastRetire = t
+	return t
+}
+
+func (p *outOfOrder) step(in isa.Inst, res *Result) {
+	// Structural: RUU slot (and LSQ slot for memory ops) must be free.
+	bound := maxI64(p.fetchReady, p.ruuRetire[p.ruuHead])
+	isMem := in.Op.IsMem()
+	if isMem {
+		bound = maxI64(bound, p.lsqRetire[p.lsqHead])
+	}
+	disp := p.dispatchAt(bound)
+
+	// Dataflow: execute when operands are ready, after dispatch.
+	ready := p.regReady[in.Src1]
+	if r2 := p.regReady[in.Src2]; r2 > ready {
+		ready = r2
+	}
+	exec := maxI64(disp+1, ready)
+
+	var complete int64
+	switch in.Op {
+	case isa.Load:
+		res.Loads++
+		issue := p.lsUnit(exec)
+		complete = p.h.Load(in.Addr, issue)
+		if in.Dst != 0 {
+			p.regReady[in.Dst] = complete
+		}
+	case isa.Store:
+		res.Stores++
+		issue := p.lsUnit(exec)
+		complete = p.h.Store(in.Addr, issue)
+	case isa.Branch:
+		res.Branches++
+		complete = exec + Latency(isa.Branch)
+		if p.pred.Predict(in.PC) != in.Taken {
+			res.Mispredicts++
+			// Fetch redirects after the branch resolves.
+			if nf := complete + p.cfg.MispredictPenalty; nf > p.fetchReady {
+				p.fetchReady = nf
+			}
+		}
+		p.pred.Update(in.PC, in.Taken)
+	default:
+		complete = exec + Latency(in.Op)
+		if in.Dst != 0 {
+			p.regReady[in.Dst] = complete
+		}
+	}
+
+	if debugHook != nil {
+		debugHook(in, disp, exec, complete)
+	}
+	retire := p.retireAt(complete)
+	p.ruuRetire[p.ruuHead] = retire
+	p.ruuHead = (p.ruuHead + 1) % len(p.ruuRetire)
+	if isMem {
+		p.lsqRetire[p.lsqHead] = retire
+		p.lsqHead = (p.lsqHead + 1) % len(p.lsqRetire)
+	}
+}

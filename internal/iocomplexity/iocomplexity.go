@@ -1,0 +1,163 @@
+// Package iocomplexity implements the paper's Section 2.4 analysis
+// (Table 2, Figure 2): Hong-and-Kung-style I/O complexity growth rates for
+// tiled matrix multiply, stencil relaxation, FFT, and merge sort, showing
+// how the computation-to-traffic ratio C/D scales as on-chip memory grows
+// by a factor k — the argument for why bandwidth demand keeps pace with
+// processing power even though computation grows faster than data size.
+package iocomplexity
+
+import (
+	"fmt"
+	"math"
+)
+
+// Algorithm identifies one Table 2 row.
+type Algorithm int
+
+const (
+	// TMM is tiled matrix multiply on N x N matrices with sqrt(S)-sized
+	// tiles.
+	TMM Algorithm = iota
+	// Stencil is iterative neighbour relaxation on an N x N grid.
+	Stencil
+	// FFT is an N-point fast Fourier transform.
+	FFT
+	// Sort is merge sort of N keys.
+	Sort
+	numAlgorithms
+)
+
+// String names the algorithm as in Table 2.
+func (a Algorithm) String() string {
+	switch a {
+	case TMM:
+		return "TMM"
+	case Stencil:
+		return "Stencil"
+	case FFT:
+		return "FFT"
+	case Sort:
+		return "Sort"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Algorithms lists all Table 2 rows.
+func Algorithms() []Algorithm { return []Algorithm{TMM, Stencil, FFT, Sort} }
+
+// Row is one analytic row of Table 2, as asymptotic formula strings plus
+// evaluable functions. N is the problem size and S the on-chip memory
+// size in words.
+type Row struct {
+	Algorithm Algorithm
+	// MemoryFormula, CompFormula, TrafficFormula, CDGrowthFormula are the
+	// paper's asymptotic expressions.
+	MemoryFormula, CompFormula, TrafficFormula, CDGrowthFormula string
+	// Memory, Comp, Traffic evaluate the asymptotic quantities (unit
+	// constants) at a concrete N and S.
+	Memory  func(n float64) float64
+	Comp    func(n float64) float64
+	Traffic func(n, s float64) float64
+}
+
+// Table returns the four rows of Table 2.
+func Table() []Row {
+	return []Row{
+		{
+			Algorithm:       TMM,
+			MemoryFormula:   "O(N^2)",
+			CompFormula:     "O(N^3)",
+			TrafficFormula:  "O(N^3/sqrt(S))",
+			CDGrowthFormula: "sqrt(k)",
+			Memory:          func(n float64) float64 { return n * n },
+			Comp:            func(n float64) float64 { return n * n * n },
+			Traffic:         func(n, s float64) float64 { return n * n * n / math.Sqrt(s) },
+		},
+		{
+			Algorithm:       Stencil,
+			MemoryFormula:   "O(N^2)",
+			CompFormula:     "O(N^2)",
+			TrafficFormula:  "O(N^2/sqrt(S))",
+			CDGrowthFormula: "sqrt(k)",
+			Memory:          func(n float64) float64 { return n * n },
+			Comp:            func(n float64) float64 { return n * n },
+			Traffic:         func(n, s float64) float64 { return n * n / math.Sqrt(s) },
+		},
+		{
+			Algorithm:       FFT,
+			MemoryFormula:   "O(N)",
+			CompFormula:     "O(N log2 N)",
+			TrafficFormula:  "O(N log2 N / log2 S)",
+			CDGrowthFormula: "log2(k)",
+			Memory:          func(n float64) float64 { return n },
+			Comp:            func(n float64) float64 { return n * math.Log2(n) },
+			Traffic:         func(n, s float64) float64 { return n * math.Log2(n) / math.Log2(s) },
+		},
+		{
+			Algorithm:       Sort,
+			MemoryFormula:   "O(N)",
+			CompFormula:     "O(N log2 N)",
+			TrafficFormula:  "O(N log2 N / log2 S)",
+			CDGrowthFormula: "log2(k)",
+			Memory:          func(n float64) float64 { return n },
+			Comp:            func(n float64) float64 { return n * math.Log2(n) },
+			Traffic:         func(n, s float64) float64 { return n * math.Log2(n) / math.Log2(s) },
+		},
+	}
+}
+
+// CDRatio evaluates computation per unit of off-chip traffic at (n, s).
+func (r Row) CDRatio(n, s float64) float64 {
+	return r.Comp(n) / r.Traffic(n, s)
+}
+
+// CDGrowth evaluates how much the computation-to-traffic ratio improves
+// when on-chip memory grows from s to k*s at fixed problem size n — the
+// right-most column of Table 2 ("sqrt(k)" or "log2(k)" asymptotically).
+func (r Row) CDGrowth(n, s, k float64) float64 {
+	return r.CDRatio(n, k*s) / r.CDRatio(n, s)
+}
+
+// BalancePoint answers the paper's Section 2.4 design question: if a
+// follow-on chip has gateFactor times the gates (and thus on-chip memory),
+// how much faster must the processor be for the ratio of bandwidth stalls
+// to processing to stay unchanged? For TMM/Stencil the answer is
+// sqrt(gateFactor); for FFT/Sort it is log2-driven and smaller.
+func (r Row) BalancePoint(n, s, gateFactor float64) float64 {
+	return r.CDGrowth(n, s, gateFactor)
+}
+
+// TrendPoint is one year's sample of the Figure 2 qualitative curves.
+type TrendPoint struct {
+	Year float64
+	// ProcessorBW is words/second the processor consumes (grows fast).
+	ProcessorBW float64
+	// OffChipBW is words/second the package supplies (grows slower).
+	OffChipBW float64
+	// Computation is fixed-program total operations (constant).
+	Computation float64
+	// Traffic is fixed-program off-chip traffic (falls as on-chip memory
+	// grows).
+	Traffic float64
+}
+
+// Figure2 generates the paper's Figure 2 curves for a fixed program
+// (unit computation) from 1984 through 1996: processor bandwidth growing
+// at procGrowth/yr, off-chip bandwidth at pinGrowth/yr, and traffic
+// falling as 1/sqrt(memory) with memory growing at memGrowth/yr (the TMM
+// model).
+func Figure2(procGrowth, pinGrowth, memGrowth float64) []TrendPoint {
+	var pts []TrendPoint
+	for y := 1984.0; y <= 1996.0; y++ {
+		t := y - 1984
+		pts = append(pts, TrendPoint{
+			Year:        y,
+			ProcessorBW: math.Pow(1+procGrowth, t),
+			OffChipBW:   math.Pow(1+pinGrowth, t),
+			Computation: 1,
+			Traffic:     1 / math.Sqrt(math.Pow(1+memGrowth, t)),
+		})
+	}
+	return pts
+}

@@ -1,0 +1,625 @@
+// Package mem implements the timing model of the simulated memory
+// hierarchy: a two-level cache hierarchy above main memory, connected by
+// finite-width buses with contention, lockup-free (MSHR-based) or blocking
+// caches, an infinite write buffer, critical-word-first fills, and
+// optional tagged prefetching (paper Table 4, Section 3.1).
+//
+// The hierarchy runs in one of three modes, which is how the paper's
+// execution-time decomposition is measured (Section 3.1):
+//
+//   - Perfect: every load and store completes in one cycle (measures T_P);
+//   - InfiniteBW: infinitely-wide paths between levels — intrinsic access
+//     latencies remain but transfer time and bus contention vanish
+//     (measures T_I, hence T_L = T_I − T_P);
+//   - Full: the complete memory system with finite buses (measures T).
+package mem
+
+import (
+	"fmt"
+)
+
+// Mode selects the memory-system timing model.
+type Mode uint8
+
+const (
+	// Full models the complete memory system.
+	Full Mode = iota
+	// InfiniteBW removes transfer time and contention, keeping latency.
+	InfiniteBW
+	// Perfect completes every access in one cycle.
+	Perfect
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Full:
+		return "full"
+	case InfiniteBW:
+		return "infinite-bw"
+	case Perfect:
+		return "perfect"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// BusConfig describes one inter-level bus.
+type BusConfig struct {
+	// WidthBytes is the data width per bus cycle (Table 4: 128-bit L1/L2
+	// bus = 16 bytes; 64-bit memory bus = 8 bytes).
+	WidthBytes int
+	// Ratio is processor cycles per bus cycle (Table 4: bus/proc clock
+	// 1/3 for SPEC92 runs, 1/4 for SPEC95 runs).
+	Ratio int
+}
+
+// LevelConfig describes one cache level of the hierarchy.
+type LevelConfig struct {
+	// Size is capacity in bytes.
+	Size int
+	// BlockSize is the line size in bytes.
+	BlockSize int
+	// Assoc is the set associativity (<=0 means fully associative).
+	Assoc int
+	// AccessCycles is the hit access time in processor cycles.
+	AccessCycles int64
+	// MSHRs is the number of outstanding-miss registers. 1 models the
+	// blocking cache of experiments A–B (hits are still serviced under a
+	// miss, as the paper assumes); larger values model lockup-free
+	// caches (experiments C–F).
+	MSHRs int
+}
+
+// Config assembles the whole hierarchy.
+type Config struct {
+	L1      LevelConfig
+	L2      LevelConfig
+	L1L2Bus BusConfig
+	MemBus  BusConfig
+	// MemAccessCycles is main-memory access latency in processor cycles
+	// (90 ns at the simulated clock).
+	MemAccessCycles int64
+	// InfiniteL1L2Bus and InfiniteMemBus make one bus infinitely wide
+	// while the rest of the system stays finite — the per-component
+	// decomposition the paper suggests ("these three categories can be
+	// broken down further to isolate individual parts of the system").
+	// Only meaningful in Full mode.
+	InfiniteL1L2Bus bool
+	InfiniteMemBus  bool
+	// MemBanks, when positive, models a finite number of interleaved
+	// DRAM banks, each busy for MemAccessCycles per access. The paper
+	// assumes infinite banks (Table 4) and argues DRAM is "unlikely to
+	// become a long-term performance bottleneck" (Section 2.3) — zero
+	// keeps that assumption; a small count lets the claim be tested.
+	MemBanks int
+	// Mode selects Full, InfiniteBW, or Perfect timing.
+	Mode Mode
+	// TaggedPrefetch enables Gindele-style tagged prefetching in L1
+	// (experiments E and F).
+	TaggedPrefetch bool
+	// StreamBuffers, when Buffers > 0, enables Jouppi-style stream
+	// buffers as an alternative hardware prefetch mechanism (see
+	// streambuf.go).
+	StreamBuffers StreamBufferConfig
+	// VictimCache, when Entries > 0, adds a small fully-associative
+	// victim buffer behind L1 (see victim.go).
+	VictimCache VictimCacheConfig
+	// Scratchpad, when Size > 0, carves a software-managed on-chip
+	// memory out of the address space: accesses in [Base, Base+Size)
+	// complete in ScratchCycles (default 1) and never touch the caches
+	// or buses — the compiler-managed data placement the paper proposes
+	// in Section 6 ("the kinds of analyses performed for effective
+	// register allocation might be readily extended").
+	Scratchpad ScratchpadConfig
+}
+
+// ScratchpadConfig describes a software-managed on-chip memory region.
+type ScratchpadConfig struct {
+	// Base and Size delimit the address range held on chip.
+	Base, Size uint64
+	// ScratchCycles is the access time (default 1).
+	ScratchCycles int64
+}
+
+// contains reports whether addr falls in the scratchpad.
+func (s ScratchpadConfig) contains(addr uint64) bool {
+	return s.Size > 0 && addr >= s.Base && addr < s.Base+s.Size
+}
+
+// Stats accumulates timing-model event and traffic counts.
+type Stats struct {
+	Loads          int64
+	Stores         int64
+	L1Hits         int64
+	L1Misses       int64
+	L1MergedMisses int64 // secondary misses merged into an outstanding fill
+	L2Hits         int64
+	L2Misses       int64
+	Prefetches     int64
+	// StreamBufHits counts L1 misses served from a stream buffer;
+	// StreamBufPrefetches counts blocks the buffers fetched.
+	StreamBufHits       int64
+	StreamBufPrefetches int64
+	// VictimHits counts L1 misses satisfied by the victim cache.
+	VictimHits int64
+	// ScratchpadHits counts accesses served by the software-managed
+	// scratchpad region.
+	ScratchpadHits int64
+	// Traffic below each level, in bytes (fills + write-backs).
+	L1L2TrafficBytes int64
+	MemTrafficBytes  int64
+	WriteBacksL1     int64
+	WriteBacksL2     int64
+}
+
+// bus models a shared, finite-width data path with a next-free time.
+type bus struct {
+	cfg      BusConfig
+	infinite bool
+	nextFree int64
+}
+
+// transfer schedules moving n bytes at earliest time at. It returns the
+// cycle when the first (critical) word arrives and the cycle when the full
+// transfer completes, and advances bus occupancy.
+func (b *bus) transfer(at int64, n int) (critical, done int64) {
+	if b.infinite {
+		return at, at
+	}
+	beats := (n + b.cfg.WidthBytes - 1) / b.cfg.WidthBytes
+	if beats < 1 {
+		beats = 1
+	}
+	start := at
+	if b.nextFree > start {
+		start = b.nextFree
+	}
+	cycles := int64(beats) * int64(b.cfg.Ratio)
+	b.nextFree = start + cycles
+	return start + int64(b.cfg.Ratio), start + cycles
+}
+
+// line is one frame in a timing-model cache level.
+type line struct {
+	tag     uint64
+	valid   bool
+	dirty   bool
+	prefTag bool // tagged-prefetch bit
+	lastUse int64
+}
+
+// fill records an in-flight block fill.
+type fill struct {
+	ready int64 // critical word available
+	done  int64 // full block arrived
+}
+
+// level is the tag store + MSHRs of one cache level.
+type level struct {
+	cfg         LevelConfig
+	sets        [][]line
+	setMask     uint64
+	blkShift    uint
+	mshrBusy    []int64
+	outstanding map[uint64]fill // by block number
+	clock       int64           // LRU timestamp source
+}
+
+func newLevel(cfg LevelConfig) *level {
+	blocks := cfg.Size / cfg.BlockSize
+	assoc := cfg.Assoc
+	if assoc <= 0 || assoc > blocks {
+		assoc = blocks
+	}
+	nsets := blocks / assoc
+	l := &level{
+		cfg:         cfg,
+		sets:        make([][]line, nsets),
+		setMask:     uint64(nsets - 1),
+		mshrBusy:    make([]int64, cfg.MSHRs),
+		outstanding: make(map[uint64]fill),
+	}
+	for i := range l.sets {
+		l.sets[i] = make([]line, assoc)
+	}
+	for bs := cfg.BlockSize; bs > 1; bs >>= 1 {
+		l.blkShift++
+	}
+	return l
+}
+
+func (l *level) block(addr uint64) uint64 { return addr >> l.blkShift }
+
+// lookup returns the line holding addr, or nil.
+func (l *level) lookup(addr uint64) *line {
+	blk := l.block(addr)
+	set := l.sets[blk&l.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == blk {
+			l.clock++
+			set[i].lastUse = l.clock
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// present reports residency without touching LRU state.
+func (l *level) present(addr uint64) bool {
+	blk := l.block(addr)
+	set := l.sets[blk&l.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == blk {
+			return true
+		}
+	}
+	return false
+}
+
+// install allocates a line for addr. It reports whether a valid line was
+// displaced, whether that victim was dirty, and the victim's block number.
+func (l *level) installVictim(addr uint64, dirty, prefTag bool) (hadVictim, victimDirty bool, victimBlock uint64) {
+	blk := l.block(addr)
+	set := l.sets[blk&l.setMask]
+	w := 0
+	for i := range set {
+		if !set[i].valid {
+			w = i
+			goto place
+		}
+	}
+	w = 0
+	for i := 1; i < len(set); i++ {
+		if set[i].lastUse < set[w].lastUse {
+			w = i
+		}
+	}
+	hadVictim = true
+	victimDirty = set[w].dirty
+	victimBlock = set[w].tag
+place:
+	l.clock++
+	set[w] = line{tag: blk, valid: true, dirty: dirty, prefTag: prefTag, lastUse: l.clock}
+	return hadVictim, victimDirty, victimBlock
+}
+
+// install allocates a line for addr, returning the evicted victim (valid
+// only if a dirty write-back is needed).
+func (l *level) install(addr uint64, dirty, prefTag bool) (victimDirty bool, victimBlock uint64) {
+	_, vd, vb := l.installVictim(addr, dirty, prefTag)
+	if !vd {
+		return false, 0
+	}
+	return vd, vb
+}
+
+// acquireMSHR reserves a miss register at earliest time t, returning the
+// actual start time (delayed if all MSHRs are busy) and the slot index.
+func (l *level) acquireMSHR(t int64) (start int64, slot int) {
+	best := 0
+	for i := 1; i < len(l.mshrBusy); i++ {
+		if l.mshrBusy[i] < l.mshrBusy[best] {
+			best = i
+		}
+	}
+	start = t
+	if l.mshrBusy[best] > start {
+		start = l.mshrBusy[best]
+	}
+	return start, best
+}
+
+// pruneOutstanding drops fills long finished to bound map growth.
+func (l *level) pruneOutstanding(now int64) {
+	if len(l.outstanding) < 1024 {
+		return
+	}
+	for b, f := range l.outstanding {
+		if f.done < now {
+			delete(l.outstanding, b)
+		}
+	}
+}
+
+// Hierarchy is the timing model used by the processor cores.
+type Hierarchy struct {
+	cfg    Config
+	l1     *level
+	l2     *level
+	l1l2   *bus
+	mem    *bus
+	banks  []int64 // per-DRAM-bank busy-until times (empty = infinite banks)
+	sbufs  *sbState
+	victim *victimCache
+	stats  Stats
+}
+
+// New constructs a hierarchy for cfg.
+func New(cfg Config) (*Hierarchy, error) {
+	if cfg.Mode == Perfect {
+		return &Hierarchy{cfg: cfg}, nil
+	}
+	for _, lv := range []struct {
+		name string
+		c    LevelConfig
+	}{{"L1", cfg.L1}, {"L2", cfg.L2}} {
+		if lv.c.BlockSize <= 0 || lv.c.BlockSize&(lv.c.BlockSize-1) != 0 {
+			return nil, fmt.Errorf("mem: %s block size %d must be a power of two", lv.name, lv.c.BlockSize)
+		}
+		if lv.c.Size <= 0 || lv.c.Size%lv.c.BlockSize != 0 {
+			return nil, fmt.Errorf("mem: %s size %d must be a multiple of block size", lv.name, lv.c.Size)
+		}
+		if lv.c.MSHRs < 1 {
+			return nil, fmt.Errorf("mem: %s needs at least one MSHR", lv.name)
+		}
+	}
+	inf := cfg.Mode == InfiniteBW
+	h := &Hierarchy{
+		cfg:  cfg,
+		l1:   newLevel(cfg.L1),
+		l2:   newLevel(cfg.L2),
+		l1l2: &bus{cfg: cfg.L1L2Bus, infinite: inf || cfg.InfiniteL1L2Bus},
+		mem:  &bus{cfg: cfg.MemBus, infinite: inf || cfg.InfiniteMemBus},
+	}
+	if cfg.StreamBuffers.Buffers > 0 {
+		h.sbufs = newSBState(cfg.StreamBuffers)
+	}
+	if cfg.VictimCache.Entries > 0 {
+		h.victim = newVictimCache(cfg.VictimCache)
+	}
+	if cfg.MemBanks > 0 && cfg.Mode == Full {
+		h.banks = make([]int64, cfg.MemBanks)
+	}
+	return h, nil
+}
+
+// bankAccess serialises an access to the DRAM bank serving addr, starting
+// no earlier than t; it returns when the bank delivers (t +
+// MemAccessCycles once the bank frees). With infinite banks (the Table 4
+// assumption) it is a pure latency.
+func (h *Hierarchy) bankAccess(addr uint64, t int64) int64 {
+	if len(h.banks) == 0 {
+		return t + h.cfg.MemAccessCycles
+	}
+	// Banks interleave on L2-block granularity.
+	b := int(h.l2.block(addr)) % len(h.banks)
+	if b < 0 {
+		b = -b
+	}
+	start := t
+	if h.banks[b] > start {
+		start = h.banks[b]
+	}
+	done := start + h.cfg.MemAccessCycles
+	h.banks[b] = done
+	return done
+}
+
+// NewCluster builds the memory system of a single-chip multiprocessor
+// (paper Section 2.2): cores cores with private L1 caches sharing one L2,
+// one L1/L2 bus, and one memory bus. The returned hierarchies expose the
+// same Load/Store interface as a single-core hierarchy; the i-th core
+// drives the i-th element. Contention on the shared buses and capacity
+// interference in the shared L2 are what the multiprocessor experiment
+// measures. Perfect-mode clusters are independent perfect hierarchies.
+func NewCluster(cfg Config, cores int) ([]*Hierarchy, error) {
+	if cores < 1 {
+		return nil, fmt.Errorf("mem: cluster needs at least one core")
+	}
+	hs := make([]*Hierarchy, cores)
+	first, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	hs[0] = first
+	for i := 1; i < cores; i++ {
+		h, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Mode != Perfect {
+			// Share the L2 array, both buses, and (if enabled) the
+			// stream buffers' bandwidth path with core 0.
+			h.l2 = first.l2
+			h.l1l2 = first.l1l2
+			h.mem = first.mem
+		}
+		hs[i] = h
+	}
+	return hs, nil
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (h *Hierarchy) Stats() Stats { return h.stats }
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// l2Access services an L1 miss for the L1 block containing addr, starting
+// no earlier than t. It returns the cycle at which the critical word is
+// available to L1 and the cycle the L1 block transfer completes.
+func (h *Hierarchy) l2Access(addr uint64, t int64) (critical, done int64) {
+	l2 := h.l2
+	l2.pruneOutstanding(t)
+	blk := l2.block(addr)
+	if l2.lookup(addr) != nil {
+		dataAt := t + h.cfg.L2.AccessCycles
+		if f, ok := l2.outstanding[blk]; ok && f.ready > dataAt {
+			// The block is still in flight from memory; forward when
+			// its critical word arrives.
+			dataAt = f.ready
+		} else {
+			h.stats.L2Hits++
+		}
+		c, d := h.l1l2.transfer(dataAt, h.cfg.L1.BlockSize)
+		h.stats.L1L2TrafficBytes += int64(h.cfg.L1.BlockSize)
+		return c, d
+	}
+	// L2 miss: fetch the L2 block from memory.
+	h.stats.L2Misses++
+	start, slot := l2.acquireMSHR(t + h.cfg.L2.AccessCycles)
+	memData := h.bankAccess(addr, start)
+	critMem, doneMem := h.mem.transfer(memData, h.cfg.L2.BlockSize)
+	h.stats.MemTrafficBytes += int64(h.cfg.L2.BlockSize)
+	l2.mshrBusy[slot] = doneMem
+	l2.outstanding[blk] = fill{ready: critMem, done: doneMem}
+	if vd, _ := l2.install(addr, false, false); vd {
+		// Dirty L2 victim goes to memory over the memory bus.
+		h.mem.transfer(doneMem, h.cfg.L2.BlockSize)
+		h.stats.MemTrafficBytes += int64(h.cfg.L2.BlockSize)
+		h.stats.WriteBacksL2++
+	}
+	// Critical-word-first end to end: forward to L1 as soon as the
+	// critical word reaches L2.
+	c, d := h.l1l2.transfer(critMem, h.cfg.L1.BlockSize)
+	h.stats.L1L2TrafficBytes += int64(h.cfg.L1.BlockSize)
+	return c, d
+}
+
+// miss handles an L1 miss for addr starting at time t. dirty marks the
+// filled line dirty (store miss with write-allocate); prefTag marks it as
+// prefetched. It returns the data-ready cycle for the requester.
+func (h *Hierarchy) miss(addr uint64, t int64, dirty, prefTag bool) int64 {
+	l1 := h.l1
+	start, slot := l1.acquireMSHR(t)
+	crit, done := h.l2Access(addr, start)
+	l1.mshrBusy[slot] = done
+	l1.outstanding[l1.block(addr)] = fill{ready: crit, done: done}
+	had, vd, vblk := l1.installVictim(addr, dirty, prefTag)
+	switch {
+	case had && h.victim != nil:
+		// Evictions (clean or dirty) park in the victim cache; its own
+		// spills generate the write-back traffic.
+		h.victimInsert(vblk, vd, done)
+	case vd:
+		// Dirty L1 victim is written back to L2 over the L1/L2 bus.
+		h.l1l2.transfer(done, h.cfg.L1.BlockSize)
+		h.stats.L1L2TrafficBytes += int64(h.cfg.L1.BlockSize)
+		h.stats.WriteBacksL1++
+		// The victim dirties L2 (write-back inclusive-ish handling).
+		h.writebackToL2(vblk)
+	}
+	return crit
+}
+
+// writebackToL2 marks the L2 copy of an evicted dirty L1 block dirty; if
+// L2 no longer holds it, the block continues to memory.
+func (h *Hierarchy) writebackToL2(l1Block uint64) {
+	addr := l1Block << h.l1.blkShift
+	if ln := h.l2.lookup(addr); ln != nil {
+		ln.dirty = true
+		return
+	}
+	h.mem.transfer(h.mem.nextFree, h.cfg.L1.BlockSize)
+	h.stats.MemTrafficBytes += int64(h.cfg.L1.BlockSize)
+}
+
+// prefetch issues a tagged prefetch of the block after addr if it is not
+// already resident or in flight.
+func (h *Hierarchy) prefetch(addr uint64, t int64) {
+	next := addr + uint64(h.cfg.L1.BlockSize)
+	l1 := h.l1
+	if l1.present(next) {
+		return
+	}
+	if f, ok := l1.outstanding[l1.block(next)]; ok && f.done > t {
+		return
+	}
+	h.stats.Prefetches++
+	h.miss(next, t, false, true)
+}
+
+// Load issues a data load at cycle now and returns the cycle at which the
+// loaded value is available.
+func (h *Hierarchy) Load(addr uint64, now int64) int64 {
+	h.stats.Loads++
+	if h.cfg.Mode == Perfect {
+		return now + 1
+	}
+	if h.cfg.Scratchpad.contains(addr) {
+		h.stats.ScratchpadHits++
+		c := h.cfg.Scratchpad.ScratchCycles
+		if c <= 0 {
+			c = 1
+		}
+		return now + c
+	}
+	l1 := h.l1
+	l1.pruneOutstanding(now)
+	if ln := l1.lookup(addr); ln != nil {
+		ready := now + h.cfg.L1.AccessCycles
+		if f, ok := l1.outstanding[l1.block(addr)]; ok && f.ready > ready {
+			// Secondary miss: merge with the in-flight fill (the paper
+			// notes a lockup-free cache "may combine two misses with
+			// one response from memory").
+			h.stats.L1MergedMisses++
+			ready = f.ready
+		} else {
+			h.stats.L1Hits++
+		}
+		if h.cfg.TaggedPrefetch && ln.prefTag {
+			ln.prefTag = false
+			h.prefetch(addr, now)
+		}
+		return ready
+	}
+	h.stats.L1Misses++
+	if ready, ok := h.victimLookup(addr, now, false); ok {
+		return ready
+	}
+	if ready, ok := h.streamLookup(addr, now); ok {
+		return ready
+	}
+	ready := h.miss(addr, now+h.cfg.L1.AccessCycles, false, false)
+	if h.cfg.TaggedPrefetch {
+		h.prefetch(addr, now)
+	}
+	return ready
+}
+
+// Store issues a data store at cycle now. The write buffer is infinite
+// (Table 4 assumption), so stores never stall the processor: the returned
+// cycle is when the store is accepted, always now+1. Store misses still
+// allocate (write-allocate, write-back), consuming MSHRs and bus
+// bandwidth in the background.
+func (h *Hierarchy) Store(addr uint64, now int64) int64 {
+	h.stats.Stores++
+	if h.cfg.Mode == Perfect {
+		return now + 1
+	}
+	if h.cfg.Scratchpad.contains(addr) {
+		h.stats.ScratchpadHits++
+		return now + 1
+	}
+	l1 := h.l1
+	l1.pruneOutstanding(now)
+	if ln := l1.lookup(addr); ln != nil {
+		if f, ok := l1.outstanding[l1.block(addr)]; ok && f.ready > now {
+			h.stats.L1MergedMisses++
+		} else {
+			h.stats.L1Hits++
+		}
+		ln.dirty = true
+		if h.cfg.TaggedPrefetch && ln.prefTag {
+			ln.prefTag = false
+			h.prefetch(addr, now)
+		}
+		return now + 1
+	}
+	h.stats.L1Misses++
+	if _, ok := h.victimLookup(addr, now, true); ok {
+		return now + 1
+	}
+	if _, ok := h.streamLookup(addr, now); ok {
+		if ln := l1.lookup(addr); ln != nil {
+			ln.dirty = true
+		}
+		return now + 1
+	}
+	h.miss(addr, now+h.cfg.L1.AccessCycles, true, false)
+	if h.cfg.TaggedPrefetch {
+		h.prefetch(addr, now)
+	}
+	return now + 1
+}

@@ -1,0 +1,129 @@
+// Stream buffers (Jouppi 1990; Palacharla & Kessler 1994), the hardware
+// prefetching alternative the paper lists among latency-tolerance
+// techniques that trade bandwidth for latency: "Stream buffers prefetch
+// unnecessary data at the end of a stream. They also falsely identify
+// streams, fetching unnecessary data." (Section 2.1.)
+//
+// Each buffer is a FIFO of sequential blocks ahead of a detected miss
+// stream. A demand miss that matches the head of a buffer is served from
+// the buffer (at its prefetch completion time) and the buffer advances,
+// prefetching one more block; a miss that matches no buffer reallocates
+// the least-recently-used buffer to a new stream starting after the miss
+// address. Buffer fills consume L2 bandwidth and the L1/L2 bus like any
+// other fill, so useless prefetches surface as bandwidth stalls.
+package mem
+
+// StreamBufferConfig enables stream buffers on a hierarchy.
+type StreamBufferConfig struct {
+	// Buffers is the number of independent stream buffers (0 disables).
+	Buffers int
+	// Depth is the number of blocks each buffer runs ahead (default 4).
+	Depth int
+}
+
+// sbEntry is one prefetched block in a buffer.
+type sbEntry struct {
+	block uint64
+	ready int64 // critical word availability
+}
+
+// streamBuffer is one FIFO prefetch stream.
+type streamBuffer struct {
+	valid   bool
+	entries []sbEntry
+	lastUse int64
+}
+
+// sbState holds all stream buffers of a hierarchy.
+type sbState struct {
+	cfg  StreamBufferConfig
+	bufs []streamBuffer
+}
+
+func newSBState(cfg StreamBufferConfig) *sbState {
+	if cfg.Depth <= 0 {
+		cfg.Depth = 4
+	}
+	s := &sbState{cfg: cfg, bufs: make([]streamBuffer, cfg.Buffers)}
+	return s
+}
+
+// lookup scans the buffer heads for block b and returns the buffer index,
+// or -1.
+func (s *sbState) lookup(b uint64) int {
+	for i := range s.bufs {
+		buf := &s.bufs[i]
+		if buf.valid && len(buf.entries) > 0 && buf.entries[0].block == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// lru returns the least-recently-used buffer index.
+func (s *sbState) lru() int {
+	best := 0
+	for i := 1; i < len(s.bufs); i++ {
+		if s.bufs[i].lastUse < s.bufs[best].lastUse {
+			best = i
+		}
+	}
+	return best
+}
+
+// streamLookup consults the stream buffers for an L1 miss to addr at time
+// t. On a buffer hit it returns the block's ready time, advances the
+// stream by prefetching one more block, and installs the block in L1. It
+// returns ok=false when no buffer matches (the caller takes the normal
+// miss path and a new stream is allocated).
+func (h *Hierarchy) streamLookup(addr uint64, t int64) (ready int64, ok bool) {
+	sb := h.sbufs
+	if sb == nil {
+		return 0, false
+	}
+	b := h.l1.block(addr)
+	if i := sb.lookup(b); i >= 0 {
+		buf := &sb.bufs[i]
+		buf.lastUse = t
+		head := buf.entries[0]
+		buf.entries = buf.entries[1:]
+		ready = head.ready
+		if ready < t+h.cfg.L1.AccessCycles {
+			ready = t + h.cfg.L1.AccessCycles
+		}
+		h.stats.StreamBufHits++
+		// Move the block into L1.
+		if vd, vblk := h.l1.install(addr, false, false); vd {
+			h.l1l2.transfer(ready, h.cfg.L1.BlockSize)
+			h.stats.L1L2TrafficBytes += int64(h.cfg.L1.BlockSize)
+			h.stats.WriteBacksL1++
+			h.writebackToL2(vblk)
+		}
+		// Advance the stream: prefetch one block past the current tail.
+		next := b + uint64(len(buf.entries)) + 1
+		h.sbPrefetch(buf, next, t)
+		return ready, true
+	}
+	// Allocate a new stream on the LRU buffer, running ahead of the miss.
+	buf := &sb.bufs[sb.lru()]
+	buf.valid = true
+	buf.lastUse = t
+	buf.entries = buf.entries[:0]
+	for d := 1; d <= sb.cfg.Depth; d++ {
+		h.sbPrefetch(buf, b+uint64(d), t)
+	}
+	return 0, false
+}
+
+// sbPrefetch fetches one block into a stream buffer through the normal L2
+// path (consuming bus bandwidth and L2/memory time).
+func (h *Hierarchy) sbPrefetch(buf *streamBuffer, block uint64, t int64) {
+	addr := block << h.l1.blkShift
+	// Skip blocks already in L1 — no traffic needed for them.
+	if h.l1.present(addr) {
+		return
+	}
+	crit, _ := h.l2Access(addr, t)
+	buf.entries = append(buf.entries, sbEntry{block: block, ready: crit})
+	h.stats.StreamBufPrefetches++
+}

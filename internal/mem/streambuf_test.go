@@ -1,0 +1,99 @@
+package mem
+
+import (
+	"testing"
+)
+
+func sbConfig(bufs, depth int) Config {
+	cfg := testConfig(Full, 8)
+	cfg.StreamBuffers = StreamBufferConfig{Buffers: bufs, Depth: depth}
+	return cfg
+}
+
+func TestStreamBufferServesSequentialStream(t *testing.T) {
+	h := mustNew(t, sbConfig(4, 4))
+	// First miss allocates a stream; subsequent sequential block misses
+	// hit the buffer.
+	var addr uint64
+	for i := 0; i < 20; i++ {
+		h.Load(addr, int64(i)*200)
+		addr += 32 // next L1 block
+	}
+	st := h.Stats()
+	if st.StreamBufHits < 15 {
+		t.Errorf("stream-buffer hits = %d, want most of the stream", st.StreamBufHits)
+	}
+}
+
+func TestStreamBufferReducesStallOnStreams(t *testing.T) {
+	// Sequential block-strided loads with long gaps: buffer hits should
+	// return data faster than demand misses.
+	plain := mustNew(t, testConfig(Full, 8))
+	buffered := mustNew(t, sbConfig(4, 4))
+	var plainLat, bufLat int64
+	var addr uint64
+	for i := 0; i < 32; i++ {
+		at := int64(i) * 500
+		plainLat += plain.Load(addr, at) - at
+		bufLat += buffered.Load(addr, at) - at
+		addr += 32
+	}
+	if bufLat >= plainLat {
+		t.Errorf("stream buffers did not help: %d >= %d", bufLat, plainLat)
+	}
+}
+
+func TestStreamBufferWastesTrafficOnRandomMisses(t *testing.T) {
+	// Random misses falsely identify streams, prefetching unnecessary
+	// data — "they also falsely identify streams, fetching unnecessary
+	// data" (Section 2.1).
+	plain := mustNew(t, testConfig(Full, 8))
+	buffered := mustNew(t, sbConfig(4, 4))
+	x := uint64(99991)
+	for i := 0; i < 100; i++ {
+		x = x*6364136223846793005 + 1442695040888963407
+		addr := (x >> 20) % (1 << 24) &^ 31
+		at := int64(i) * 400
+		plain.Load(addr, at)
+		buffered.Load(addr, at)
+	}
+	if buffered.Stats().MemTrafficBytes <= plain.Stats().MemTrafficBytes {
+		t.Errorf("random-stream prefetch traffic %d should exceed plain %d",
+			buffered.Stats().MemTrafficBytes, plain.Stats().MemTrafficBytes)
+	}
+	if buffered.Stats().StreamBufPrefetches == 0 {
+		t.Error("no prefetches recorded")
+	}
+}
+
+func TestStreamBufferDisabled(t *testing.T) {
+	h := mustNew(t, testConfig(Full, 8))
+	h.Load(0, 0)
+	h.Load(32, 100)
+	if h.Stats().StreamBufHits != 0 || h.Stats().StreamBufPrefetches != 0 {
+		t.Error("stream-buffer stats on a hierarchy without buffers")
+	}
+}
+
+func TestStreamBufferDefaultDepth(t *testing.T) {
+	s := newSBState(StreamBufferConfig{Buffers: 2})
+	if s.cfg.Depth != 4 {
+		t.Errorf("default depth = %d, want 4", s.cfg.Depth)
+	}
+}
+
+func TestStreamBufferMultipleStreams(t *testing.T) {
+	// Two interleaved sequential streams need two buffers.
+	h := mustNew(t, sbConfig(2, 4))
+	a, b := uint64(0), uint64(1<<20)
+	for i := 0; i < 16; i++ {
+		at := int64(i) * 400
+		h.Load(a, at)
+		h.Load(b, at+200)
+		a += 32
+		b += 32
+	}
+	if h.Stats().StreamBufHits < 20 {
+		t.Errorf("two-stream hits = %d", h.Stats().StreamBufHits)
+	}
+}

@@ -1,0 +1,116 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func collect(t *testing.T, opts Options) *Report {
+	t.Helper()
+	r, err := Collect(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestCollectStructure(t *testing.T) {
+	r := collect(t, Options{SkipTiming: true, Sizes: []int{16 << 10, 64 << 10}})
+	if len(r.Chips) != 18 {
+		t.Errorf("chips = %d", len(r.Chips))
+	}
+	if len(r.Growth) != 4 {
+		t.Errorf("growth rows = %d", len(r.Growth))
+	}
+	if len(r.Workloads) != 14 {
+		t.Errorf("workloads = %d", len(r.Workloads))
+	}
+	if len(r.TrafficRatios) != 7 || len(r.Inefficiencies) != 7 {
+		t.Errorf("SPEC92 traffic rows = %d/%d", len(r.TrafficRatios), len(r.Inefficiencies))
+	}
+	if len(r.Factors) != 7 {
+		t.Errorf("factor rows = %d", len(r.Factors))
+	}
+	if len(r.Decompositions) != 0 {
+		t.Error("SkipTiming should omit decompositions")
+	}
+	for _, row := range r.TrafficRatios {
+		if len(row.Cells) != 2 {
+			t.Errorf("%s: %d cells", row.Benchmark, len(row.Cells))
+		}
+	}
+	for _, f := range r.Factors {
+		if len(f.DeltaG) != 5 {
+			t.Errorf("%s: %d factors", f.Benchmark, len(f.DeltaG))
+		}
+	}
+}
+
+func TestCollectTiming(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing runs")
+	}
+	r := collect(t, Options{Sizes: []int{16 << 10}})
+	// 6 SPEC92 (minus dnasa2) + 7 SPEC95 benchmarks x 6 experiments.
+	if len(r.Decompositions) != 13*6 {
+		t.Errorf("decompositions = %d, want 78", len(r.Decompositions))
+	}
+	h := r.Headline()
+	if h.TimedBenchmarks != 13 {
+		t.Errorf("timed benchmarks = %d", h.TimedBenchmarks)
+	}
+	// The paper's central claim: on machine F, bandwidth stalls beat
+	// latency stalls for most benchmarks (9 of 13 here; the paper's
+	// exceptions are the cache-bound pair plus Perl and Vortex).
+	if h.FBExceedsFLCount < 8 {
+		t.Errorf("f_B > f_L on only %d benchmarks in F", h.FBExceedsFLCount)
+	}
+}
+
+func TestHeadline(t *testing.T) {
+	r := collect(t, Options{SkipTiming: true, Sizes: []int{1 << 10, 64 << 10}})
+	h := r.Headline()
+	if h.PinGrowthPct < 10 || h.PinGrowthPct > 25 {
+		t.Errorf("pin growth = %v", h.PinGrowthPct)
+	}
+	if h.BWPerPin2006 < 20 || h.BWPerPin2006 > 30 {
+		t.Errorf("2006 factor = %v", h.BWPerPin2006)
+	}
+	if h.TMMGainAtK4 != 2 {
+		t.Errorf("TMM gain = %v", h.TMMGainAtK4)
+	}
+	if h.MaxInefficiency <= 1 {
+		t.Errorf("max G = %v", h.MaxInefficiency)
+	}
+	// All seven SPEC92 surrogates amplify traffic at 1KB.
+	if h.SmallCacheAmplify != 7 {
+		t.Errorf("R>1@1KB count = %d", h.SmallCacheAmplify)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	r := collect(t, Options{SkipTiming: true, Sizes: []int{64 << 10}})
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(back.Workloads) != len(r.Workloads) {
+		t.Error("round trip lost workloads")
+	}
+	if back.TrendFits.PinGrowth != r.TrendFits.PinGrowth {
+		t.Error("round trip lost fits")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	o.defaults()
+	if o.Scale != 1 || o.CacheScale != 16 || len(o.Sizes) != 12 {
+		t.Errorf("defaults = %+v", o)
+	}
+}

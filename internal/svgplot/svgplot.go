@@ -1,0 +1,277 @@
+// Package svgplot renders the reproduction's figures as standalone SVG
+// documents using only the standard library — log-scale scatter/line
+// charts (Figures 1 and 4) and stacked bar charts (Figure 3). The
+// cmd/memplot command writes the paper's figures as .svg files.
+package svgplot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// palette is a colour cycle for series.
+var palette = []string{
+	"#1f5fa8", "#c0392b", "#1e8449", "#8e44ad", "#b7950b",
+	"#148f9e", "#d35400", "#5d6d7e", "#7d3c98", "#2e4053",
+}
+
+// Series is one named line/point set.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart is an XY chart with optionally logarithmic axes.
+type Chart struct {
+	Title      string
+	XLabel     string
+	YLabel     string
+	LogX, LogY bool
+	// Width and Height are the SVG pixel dimensions (defaults 640x420).
+	Width, Height int
+	// Lines connects each series' points in order.
+	Lines  bool
+	series []Series
+}
+
+// Add appends a series.
+func (c *Chart) Add(s Series) { c.series = append(c.series, s) }
+
+func (c *Chart) dims() (int, int) {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 640
+	}
+	if h <= 0 {
+		h = 420
+	}
+	return w, h
+}
+
+func tf(v float64, log bool) (float64, bool) {
+	if log {
+		if v <= 0 {
+			return 0, false
+		}
+		return math.Log10(v), true
+	}
+	return v, true
+}
+
+// Render writes the chart as a complete SVG document.
+func (c *Chart) Render(w io.Writer) error {
+	width, height := c.dims()
+	const mL, mR, mT, mB = 64, 140, 36, 46 // margins (legend on the right)
+	plotW, plotH := width-mL-mR, height-mT-mB
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range c.series {
+		for i := range s.X {
+			x, okx := tf(s.X[i], c.LogX)
+			y, oky := tf(s.Y[i], c.LogY)
+			if !okx || !oky {
+				continue
+			}
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if minX > maxX {
+		minX, maxX = 0, 1
+	}
+	if minY > maxY {
+		minY, maxY = 0, 1
+	}
+	if maxX == minX {
+		maxX++
+	}
+	if maxY == minY {
+		maxY++
+	}
+	px := func(x float64) float64 { return float64(mL) + (x-minX)/(maxX-minX)*float64(plotW) }
+	py := func(y float64) float64 { return float64(mT) + (1-(y-minY)/(maxY-minY))*float64(plotH) }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-size="14" font-weight="bold">%s</text>`+"\n", mL, esc(c.Title))
+	// Axes.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#444"/>`+"\n", mL, mT, plotW, plotH)
+	// Ticks: 5 per axis, at nice positions in transformed space.
+	for i := 0; i <= 4; i++ {
+		xv := minX + (maxX-minX)*float64(i)/4
+		yv := minY + (maxY-minY)*float64(i)/4
+		xl, yl := xv, yv
+		if c.LogX {
+			xl = math.Pow(10, xv)
+		}
+		if c.LogY {
+			yl = math.Pow(10, yv)
+		}
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#bbb"/>`+"\n",
+			px(xv), mT, px(xv), mT+plotH)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n",
+			px(xv), mT+plotH+16, fmtTick(xl))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#bbb"/>`+"\n",
+			mL, py(yv), mL+plotW, py(yv))
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" dominant-baseline="middle">%s</text>`+"\n",
+			mL-6, py(yv), fmtTick(yl))
+	}
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n",
+		mL+plotW/2, height-8, esc(c.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%d" text-anchor="middle" transform="rotate(-90 14 %d)">%s</text>`+"\n",
+		mT+plotH/2, mT+plotH/2, esc(c.YLabel))
+
+	// Series.
+	for si, s := range c.series {
+		color := palette[si%len(palette)]
+		if c.Lines {
+			var pts []string
+			for i := range s.X {
+				x, okx := tf(s.X[i], c.LogX)
+				y, oky := tf(s.Y[i], c.LogY)
+				if !okx || !oky {
+					continue
+				}
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(x), py(y)))
+			}
+			if len(pts) > 1 {
+				fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+					strings.Join(pts, " "), color)
+			}
+		}
+		for i := range s.X {
+			x, okx := tf(s.X[i], c.LogX)
+			y, oky := tf(s.Y[i], c.LogY)
+			if !okx || !oky {
+				continue
+			}
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", px(x), py(y), color)
+		}
+		// Legend entry.
+		ly := mT + 14 + si*16
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n", mL+plotW+10, ly-9, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n", mL+plotW+24, ly, esc(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// StackedBars renders grouped, stacked bars — the Figure 3 layout: one
+// group per benchmark, one bar per experiment, three segments per bar.
+type StackedBars struct {
+	Title string
+	// SegmentNames label the stack components bottom-up (f_P, f_L, f_B).
+	SegmentNames []string
+	// Groups are benchmark names; Bars[g][b] is bar b of group g, with
+	// Bars[g][b].Parts summing to the bar's height.
+	Groups    []string
+	BarLabels []string
+	// Parts[g][b][s] is the height of segment s of bar b in group g.
+	Parts         [][][]float64
+	Width, Height int
+}
+
+var segColors = []string{"#5d6d7e", "#e67e22", "#c0392b"}
+
+// Render writes the bar chart as a complete SVG document.
+func (sb *StackedBars) Render(w io.Writer) error {
+	width, height := sb.Width, sb.Height
+	if width <= 0 {
+		width = 80 + 110*len(sb.Groups)
+	}
+	if height <= 0 {
+		height = 360
+	}
+	const mL, mT, mB = 50, 36, 56
+	plotH := height - mT - mB
+
+	maxV := 0.0
+	for _, g := range sb.Parts {
+		for _, bar := range g {
+			sum := 0.0
+			for _, p := range bar {
+				sum += p
+			}
+			maxV = math.Max(maxV, sum)
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-size="14" font-weight="bold">%s</text>`+"\n", mL, esc(sb.Title))
+	// Y gridlines.
+	for i := 0; i <= 4; i++ {
+		v := maxV * float64(i) / 4
+		y := float64(mT) + (1-v/maxV)*float64(plotH)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n", mL, y, width-12, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" dominant-baseline="middle">%.1f</text>`+"\n", mL-6, y, v)
+	}
+	groupW := float64(width-mL-20) / float64(max(1, len(sb.Groups)))
+	barW := groupW / float64(max(1, len(sb.BarLabels))+1)
+	for gi, group := range sb.Groups {
+		gx := float64(mL) + groupW*float64(gi)
+		for bi := range sb.BarLabels {
+			x := gx + barW*float64(bi) + barW/2
+			y := float64(mT + plotH)
+			if gi < len(sb.Parts) && bi < len(sb.Parts[gi]) {
+				for si, p := range sb.Parts[gi][bi] {
+					h := p / maxV * float64(plotH)
+					y -= h
+					fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+						x, y, barW*0.85, h, segColors[si%len(segColors)])
+				}
+			}
+			fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle" font-size="9">%s</text>`+"\n",
+				x+barW*0.42, mT+plotH+12, esc(sb.BarLabels[bi]))
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle" font-weight="bold">%s</text>`+"\n",
+			gx+groupW/2, mT+plotH+28, esc(group))
+	}
+	// Legend.
+	for si, name := range sb.SegmentNames {
+		x := mL + si*90
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n",
+			x, height-18, segColors[si%len(segColors)])
+		fmt.Fprintf(&b, `<text x="%d" y="%d">%s</text>`+"\n", x+14, height-9, esc(name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func fmtTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.1fK", v/1e3)
+	case av >= 10:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,102 @@
+package svgplot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestChartRender(t *testing.T) {
+	c := Chart{Title: "t<est>", XLabel: "x", YLabel: "y", Lines: true}
+	c.Add(Series{Name: "a&b", X: []float64{1, 2, 3}, Y: []float64{1, 4, 9}})
+	c.Add(Series{Name: "c", X: []float64{1, 2}, Y: []float64{2, 2}})
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "polyline", "circle", "t&lt;est&gt;", "a&amp;b"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart SVG missing %q", want)
+		}
+	}
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Error("chart SVG contains non-finite coordinates")
+	}
+}
+
+func TestChartLogScalesSkipNonPositive(t *testing.T) {
+	c := Chart{LogX: true, LogY: true}
+	c.Add(Series{Name: "s", X: []float64{0, 10, 100}, Y: []float64{-1, 10, 100}})
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "<circle"); n != 2 {
+		t.Errorf("expected 2 valid points, drew %d", n)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	var c Chart
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "</svg>") {
+		t.Error("empty chart must still be a valid SVG")
+	}
+}
+
+func TestStackedBarsRender(t *testing.T) {
+	sb := StackedBars{
+		Title:        "Figure 3",
+		SegmentNames: []string{"f_P", "f_L", "f_B"},
+		Groups:       []string{"compress", "swm"},
+		BarLabels:    []string{"A", "F"},
+		Parts: [][][]float64{
+			{{0.5, 0.3, 0.2}, {0.4, 0.2, 0.4}},
+			{{0.9, 0.05, 0.05}, {0.5, 0.1, 0.4}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := sb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// 2 groups x 2 bars x 3 segments = 12 bar rects (plus background).
+	if n := strings.Count(out, "<rect"); n < 13 {
+		t.Errorf("bar rects = %d", n)
+	}
+	for _, want := range []string{"compress", "swm", "f_P", "f_B"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("bars SVG missing %q", want)
+		}
+	}
+}
+
+func TestStackedBarsEmpty(t *testing.T) {
+	var sb StackedBars
+	var buf bytes.Buffer
+	if err := sb.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "</svg>") {
+		t.Error("empty bars must still render")
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	cases := map[float64]string{
+		2_500_000: "2.5M",
+		12_000:    "12.0K",
+		42:        "42",
+		3.5:       "3.5",
+		0.25:      "0.25",
+	}
+	for v, want := range cases {
+		if got := fmtTick(v); got != want {
+			t.Errorf("fmtTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Package tablefmt renders the paper's tables and figures as plain text:
+// aligned ASCII tables and log-scale scatter/line plots, so that every
+// artifact in the evaluation can be regenerated on a terminal.
+package tablefmt
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table accumulates rows of cells and renders them with aligned columns.
+type Table struct {
+	title  string
+	header []string
+	rows   [][]string
+}
+
+// New returns an empty table with the given title and column headers.
+func New(title string, header ...string) *Table {
+	return &Table{title: title, header: header}
+}
+
+// AddRow appends a row. Shorter rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// AddRowf appends a row where each cell is formatted with fmt.Sprint.
+func (t *Table) AddRowf(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	ncol := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > ncol {
+			ncol = len(r)
+		}
+	}
+	width := make([]int, ncol)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.title != "" {
+		b.WriteString(t.title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(row []string) {
+		for i := 0; i < ncol; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			// Left-align the first column, right-align the rest
+			// (numeric columns dominate these tables).
+			if i == 0 {
+				fmt.Fprintf(&b, "%-*s", width[i], cell)
+			} else {
+				fmt.Fprintf(&b, "%*s", width[i], cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.header) > 0 {
+		writeRow(t.header)
+		total := 0
+		for _, w := range width {
+			total += w
+		}
+		b.WriteString(strings.Repeat("-", total+2*(ncol-1)))
+		b.WriteByte('\n')
+	}
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Series is one named line on a Plot.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Plot renders series as an ASCII scatter plot. X and Y may independently
+// be log-scaled, matching the paper's log-log traffic plots (Figure 4) and
+// semi-log trend plots (Figure 1).
+type Plot struct {
+	Title        string
+	XLabel       string
+	YLabel       string
+	LogX, LogY   bool
+	Width        int // plot area width in characters (default 64)
+	Height       int // plot area height in characters (default 20)
+	serieslist   []Series
+	markOverride []byte
+}
+
+// DefaultMarks are the per-series point glyphs, cycled in order.
+var DefaultMarks = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&', '^', '~'}
+
+// Add appends a data series to the plot.
+func (p *Plot) Add(s Series) {
+	p.serieslist = append(p.serieslist, s)
+}
+
+func (p *Plot) transform(v float64, log bool) (float64, bool) {
+	if log {
+		if v <= 0 {
+			return 0, false
+		}
+		return math.Log10(v), true
+	}
+	return v, true
+}
+
+// String renders the plot.
+func (p *Plot) String() string {
+	w, h := p.Width, p.Height
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 20
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range p.serieslist {
+		for i := range s.X {
+			x, okx := p.transform(s.X[i], p.LogX)
+			y, oky := p.transform(s.Y[i], p.LogY)
+			if !okx || !oky {
+				continue
+			}
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	var b strings.Builder
+	if p.Title != "" {
+		b.WriteString(p.Title)
+		b.WriteByte('\n')
+	}
+	if minX > maxX || minY > maxY {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range p.serieslist {
+		mark := DefaultMarks[si%len(DefaultMarks)]
+		for i := range s.X {
+			x, okx := p.transform(s.X[i], p.LogX)
+			y, oky := p.transform(s.Y[i], p.LogY)
+			if !okx || !oky {
+				continue
+			}
+			cx := int(math.Round((x - minX) / (maxX - minX) * float64(w-1)))
+			cy := int(math.Round((y - minY) / (maxY - minY) * float64(h-1)))
+			row := h - 1 - cy
+			if grid[row][cx] == ' ' || grid[row][cx] == mark {
+				grid[row][cx] = mark
+			} else {
+				grid[row][cx] = '?'
+			}
+		}
+	}
+	inv := func(v float64, log bool) float64 {
+		if log {
+			return math.Pow(10, v)
+		}
+		return v
+	}
+	fmt.Fprintf(&b, "%12.4g +%s\n", inv(maxY, p.LogY), strings.Repeat("-", w))
+	for i, row := range grid {
+		label := "             "
+		if i == h/2 && p.YLabel != "" {
+			label = fmt.Sprintf("%12.12s ", p.YLabel)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%12.4g +%s\n", inv(minY, p.LogY), strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%13s%-10.4g%*s%10.4g\n", "", inv(minX, p.LogX), w-20, p.XLabel, inv(maxX, p.LogX))
+	for si, s := range p.serieslist {
+		fmt.Fprintf(&b, "  %c %s\n", DefaultMarks[si%len(DefaultMarks)], s.Name)
+	}
+	return b.String()
+}
+
+// Bytes formats a byte count with binary-prefix units (e.g. "64KB", "2MB"),
+// matching the cache-size labels used throughout the paper's tables.
+func Bytes(n int64) string {
+	switch {
+	case n >= 1<<30 && n%(1<<30) == 0:
+		return fmt.Sprintf("%dGB", n>>30)
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

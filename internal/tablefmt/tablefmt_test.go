@@ -1,0 +1,127 @@
+package tablefmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := New("Title", "name", "value")
+	tb.AddRow("a", "1")
+	tb.AddRow("longer", "22")
+	out := tb.String()
+	if !strings.Contains(out, "Title") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + rule + 2 rows
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	// All data lines equal width (right-aligned numeric column).
+	if len(lines[3]) != len(lines[4]) {
+		t.Errorf("rows unaligned:\n%q\n%q", lines[3], lines[4])
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.AddRowf(12, 3.5)
+	if !strings.Contains(tb.String(), "12") || !strings.Contains(tb.String(), "3.5") {
+		t.Error("AddRowf values missing")
+	}
+}
+
+func TestTableShortRows(t *testing.T) {
+	tb := New("", "a", "b", "c")
+	tb.AddRow("only")
+	out := tb.String()
+	if !strings.Contains(out, "only") {
+		t.Error("short row dropped")
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := New("", "h")
+	tb.AddRow("x")
+	if strings.HasPrefix(tb.String(), "\n") {
+		t.Error("no-title table should not start with a blank line")
+	}
+}
+
+func TestPlotRendersSeries(t *testing.T) {
+	p := Plot{Title: "test", Height: 8, Width: 40}
+	p.Add(Series{Name: "s1", X: []float64{1, 2, 3}, Y: []float64{1, 4, 9}})
+	out := p.String()
+	if !strings.Contains(out, "test") || !strings.Contains(out, "s1") {
+		t.Error("plot missing title or legend")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("plot missing data marks")
+	}
+}
+
+func TestPlotLogScales(t *testing.T) {
+	p := Plot{LogX: true, LogY: true, Height: 6, Width: 30}
+	p.Add(Series{Name: "log", X: []float64{1, 10, 100}, Y: []float64{1, 100, 10000}})
+	out := p.String()
+	// On log-log these three points are collinear; just ensure rendering
+	// works and the extremes appear in the axis labels.
+	if !strings.Contains(out, "1e+04") && !strings.Contains(out, "10000") {
+		t.Errorf("max label missing:\n%s", out)
+	}
+}
+
+func TestPlotSkipsNonPositiveOnLog(t *testing.T) {
+	p := Plot{LogY: true, Height: 5, Width: 20}
+	p.Add(Series{Name: "bad", X: []float64{1, 2}, Y: []float64{0, 10}})
+	out := p.String() // must not panic; zero point dropped
+	if out == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	p := Plot{}
+	if !strings.Contains(p.String(), "no data") {
+		t.Error("empty plot should say so")
+	}
+}
+
+func TestPlotMultipleSeriesMarks(t *testing.T) {
+	p := Plot{Height: 6, Width: 30}
+	p.Add(Series{Name: "a", X: []float64{1}, Y: []float64{1}})
+	p.Add(Series{Name: "b", X: []float64{2}, Y: []float64{2}})
+	out := p.String()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("series marks missing")
+	}
+}
+
+func TestPlotDegenerateRanges(t *testing.T) {
+	p := Plot{Height: 4, Width: 16}
+	p.Add(Series{Name: "point", X: []float64{5}, Y: []float64{7}})
+	if p.String() == "" {
+		t.Error("single-point plot should render")
+	}
+}
+
+func TestBytes(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{512, "512B"},
+		{1024, "1KB"},
+		{64 << 10, "64KB"},
+		{1 << 20, "1MB"},
+		{2 << 20, "2MB"},
+		{1 << 30, "1GB"},
+		{1500, "1500B"},
+	}
+	for _, c := range cases {
+		if got := Bytes(c.n); got != c.want {
+			t.Errorf("Bytes(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Compact binary trace encoding. Address traces compress extremely well
+// under delta encoding because most references are near-sequential — the
+// same observation behind the bus/address-compression work the paper
+// cites as a way to raise effective bandwidth (Section 6, Farrens & Park
+// [12]). The format:
+//
+//	magic   4 bytes  "MWT1"
+//	count   uvarint  number of references
+//	records, each:
+//	  tag   uvarint  bit 0 = kind (0 read / 1 write),
+//	                 bits 1+ = zigzag-encoded word delta from the
+//	                 previous reference's word address
+//
+// Word deltas (address/4) rather than byte deltas save two bits per
+// record; zigzag keeps small negative strides cheap. Typical workload
+// traces encode in ~1.5 bytes per reference versus 9+ for the din text
+// format.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// compactMagic identifies the format and version.
+var compactMagic = [4]byte{'M', 'W', 'T', '1'}
+
+// zigzag maps signed to unsigned so small magnitudes stay small.
+func zigzag(v int64) uint64 { return uint64((v << 1) ^ (v >> 63)) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// WriteCompact encodes a stream in the compact binary format and resets
+// it, returning the number of references written.
+func WriteCompact(w io.Writer, s Stream) (int64, error) {
+	// First pass to count (streams are restartable by contract).
+	var count int64
+	for {
+		_, ok := s.Next()
+		if !ok {
+			break
+		}
+		count++
+	}
+	s.Reset()
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(compactMagic[:]); err != nil {
+		return 0, fmt.Errorf("trace: compact write: %w", err)
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(count))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return 0, fmt.Errorf("trace: compact write: %w", err)
+	}
+	var prev int64
+	var written int64
+	for {
+		r, ok := s.Next()
+		if !ok {
+			break
+		}
+		word := int64(r.Word() / WordSize)
+		delta := word - prev
+		prev = word
+		tag := zigzag(delta) << 1
+		if r.Kind == Write {
+			tag |= 1
+		}
+		n := binary.PutUvarint(buf[:], tag)
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return written, fmt.Errorf("trace: compact write: %w", err)
+		}
+		written++
+	}
+	s.Reset()
+	if err := bw.Flush(); err != nil {
+		return written, fmt.Errorf("trace: compact flush: %w", err)
+	}
+	return written, nil
+}
+
+// ReadCompact decodes a compact-format trace.
+func ReadCompact(r io.Reader) ([]Ref, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: compact read: %w", err)
+	}
+	if magic != compactMagic {
+		return nil, fmt.Errorf("trace: bad magic %q (want %q)", magic, compactMagic)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: compact count: %w", err)
+	}
+	const maxCount = 1 << 32
+	if count > maxCount {
+		return nil, fmt.Errorf("trace: implausible count %d", count)
+	}
+	refs := make([]Ref, 0, count)
+	var prev int64
+	for i := uint64(0); i < count; i++ {
+		tag, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", i, err)
+		}
+		kind := Read
+		if tag&1 == 1 {
+			kind = Write
+		}
+		prev += unzigzag(tag >> 1)
+		if prev < 0 {
+			return nil, fmt.Errorf("trace: record %d: negative address", i)
+		}
+		refs = append(refs, Ref{Kind: kind, Addr: uint64(prev) * WordSize})
+	}
+	return refs, nil
+}

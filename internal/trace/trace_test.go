@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Errorf("Kind strings: %v %v", Read, Write)
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind should still render")
+	}
+}
+
+func TestRefWordAlignment(t *testing.T) {
+	cases := []struct {
+		addr, want uint64
+	}{
+		{0, 0}, {1, 0}, {3, 0}, {4, 4}, {7, 4}, {0x1003, 0x1000},
+	}
+	for _, c := range cases {
+		if got := (Ref{Addr: c.addr}).Word(); got != c.want {
+			t.Errorf("Word(%#x) = %#x, want %#x", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestSliceStream(t *testing.T) {
+	refs := []Ref{
+		{Read, 0x100}, {Write, 0x104}, {Read, 0x108},
+	}
+	s := NewSliceStream(refs)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	var got []Ref
+	for {
+		r, ok := s.Next()
+		if !ok {
+			break
+		}
+		got = append(got, r)
+	}
+	if len(got) != 3 || got[1].Kind != Write {
+		t.Fatalf("collected %v", got)
+	}
+	// After exhaustion, Next keeps returning false.
+	if _, ok := s.Next(); ok {
+		t.Error("Next after end should be false")
+	}
+	s.Reset()
+	if r, ok := s.Next(); !ok || r.Addr != 0x100 {
+		t.Error("Reset did not rewind")
+	}
+}
+
+func TestCollectResets(t *testing.T) {
+	s := NewSliceStream([]Ref{{Read, 4}, {Write, 8}})
+	got := Collect(s)
+	if len(got) != 2 {
+		t.Fatalf("Collect len = %d", len(got))
+	}
+	// Collect must reset the stream.
+	if again := Collect(s); len(again) != 2 {
+		t.Errorf("second Collect len = %d, want 2", len(again))
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	s := NewSliceStream([]Ref{
+		{Read, 0x100}, {Write, 0x100}, {Read, 0x102}, // same word as 0x100? no: 0x100 and 0x102 share word 0x100
+		{Read, 0x200}, {Write, 0x204},
+	})
+	st := Measure(s)
+	if st.Refs != 5 || st.Reads != 3 || st.Writes != 2 {
+		t.Fatalf("counts = %+v", st)
+	}
+	// Distinct words: 0x100 (hit by first three refs), 0x200, 0x204.
+	if st.Footprint != 3 {
+		t.Errorf("Footprint = %d, want 3", st.Footprint)
+	}
+	if st.Bytes() != 20 {
+		t.Errorf("Bytes = %d, want 20", st.Bytes())
+	}
+	if st.FootprintBytes() != 12 {
+		t.Errorf("FootprintBytes = %d, want 12", st.FootprintBytes())
+	}
+	// Measure must reset.
+	if st2 := Measure(s); st2.Refs != 5 {
+		t.Error("Measure did not reset the stream")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	inner := NewSliceStream([]Ref{{Read, 0}, {Read, 4}, {Read, 8}, {Read, 12}})
+	l := NewLimit(inner, 2)
+	if st := Measure(l); st.Refs != 2 {
+		t.Errorf("limited refs = %d, want 2", st.Refs)
+	}
+	// Limit longer than the stream passes everything through.
+	l2 := NewLimit(NewSliceStream([]Ref{{Read, 0}}), 10)
+	if st := Measure(l2); st.Refs != 1 {
+		t.Errorf("over-limit refs = %d, want 1", st.Refs)
+	}
+}
+
+func TestLimitReset(t *testing.T) {
+	l := NewLimit(NewSliceStream([]Ref{{Read, 0}, {Read, 4}}), 1)
+	if _, ok := l.Next(); !ok {
+		t.Fatal("first Next failed")
+	}
+	if _, ok := l.Next(); ok {
+		t.Fatal("limit not enforced")
+	}
+	l.Reset()
+	if _, ok := l.Next(); !ok {
+		t.Error("Reset did not restore the limit")
+	}
+}
+
+func TestFuncStream(t *testing.T) {
+	mk := func() func() (Ref, bool) {
+		i := 0
+		return func() (Ref, bool) {
+			if i >= 3 {
+				return Ref{}, false
+			}
+			r := Ref{Read, uint64(i * 4)}
+			i++
+			return r, true
+		}
+	}
+	f := NewFuncStream(mk)
+	if st := Measure(f); st.Refs != 3 {
+		t.Errorf("refs = %d", st.Refs)
+	}
+	// Restartable via Reset (Measure resets).
+	if st := Measure(f); st.Refs != 3 {
+		t.Errorf("restarted refs = %d", st.Refs)
+	}
+}
+
+func TestMeasureMatchesCollectProperty(t *testing.T) {
+	f := func(addrs []uint32, kinds []bool) bool {
+		var refs []Ref
+		for i, a := range addrs {
+			k := Read
+			if i < len(kinds) && kinds[i] {
+				k = Write
+			}
+			refs = append(refs, Ref{Kind: k, Addr: uint64(a)})
+		}
+		s := NewSliceStream(refs)
+		st := Measure(s)
+		if st.Refs != int64(len(refs)) || st.Reads+st.Writes != st.Refs {
+			return false
+		}
+		words := make(map[uint64]struct{})
+		for _, r := range refs {
+			words[r.Word()] = struct{}{}
+		}
+		return st.Footprint == int64(len(words))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

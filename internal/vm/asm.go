@@ -1,0 +1,314 @@
+// Package vm provides a small functional virtual machine with a textual
+// assembler. The paper's methodology is execution-driven simulation
+// (SimpleScalar): programs compute real values and their dynamic
+// instruction stream drives the timing model. The workload package
+// reproduces SPEC behaviour with generator-resolved streams; this package
+// closes the loop for hand-written kernels — assemble a program, execute
+// it functionally, and feed the retired-instruction stream (with resolved
+// addresses and branch outcomes) to the internal/cpu timing cores.
+//
+// The assembly dialect is RISC-flavoured, with 64 integer registers
+// (r0 is hardwired zero), word-addressed memory, labels, and the usual
+// two-pass label resolution:
+//
+//	        li    r1, 100        ; iteration count
+//	        li    r3, 0x1000     ; base address
+//	loop:   lw    r2, 0(r3)
+//	        add   r4, r4, r2
+//	        addi  r3, r3, 4
+//	        addi  r1, r1, -1
+//	        bne   r1, r0, loop
+//	        sw    r4, 0(r5)
+//	        halt
+//
+// Instruction classes map onto the isa operation classes the timing cores
+// model (mul -> IMul, div -> FDiv-latency, the f* mnemonics -> FP units).
+package vm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"memwall/internal/isa"
+)
+
+// Opcode is a VM operation.
+type Opcode uint8
+
+// The VM instruction set.
+const (
+	OpNop Opcode = iota
+	OpHalt
+	OpLi   // li rd, imm
+	OpAdd  // add rd, rs, rt
+	OpSub  // sub rd, rs, rt
+	OpMul  // mul rd, rs, rt
+	OpDiv  // div rd, rs, rt (traps on zero divisor)
+	OpAnd  // and rd, rs, rt
+	OpOr   // or rd, rs, rt
+	OpXor  // xor rd, rs, rt
+	OpSll  // sll rd, rs, rt
+	OpSrl  // srl rd, rs, rt
+	OpSlt  // slt rd, rs, rt (rd = rs < rt, signed)
+	OpAddi // addi rd, rs, imm
+	OpFAdd // fadd rd, rs, rt (FP-add latency class; integer semantics)
+	OpFMul // fmul rd, rs, rt
+	OpFDiv // fdiv rd, rs, rt
+	OpLw   // lw rd, off(rs)
+	OpSw   // sw rt, off(rs)
+	OpBeq  // beq rs, rt, label
+	OpBne  // bne rs, rt, label
+	OpBlt  // blt rs, rt, label (signed)
+	OpBge  // bge rs, rt, label (signed)
+	OpJ    // j label
+)
+
+// Inst is one assembled VM instruction.
+type Inst struct {
+	Op         Opcode
+	Rd, Rs, Rt uint8
+	Imm        int64
+	// Target is the resolved instruction index for branches/jumps.
+	Target int
+	// Line is the 1-based source line, for diagnostics.
+	Line int
+}
+
+// Program is an assembled program plus its label table.
+type Program struct {
+	Insts  []Inst
+	Labels map[string]int
+}
+
+// opSpec describes one mnemonic's operand shape.
+type opSpec struct {
+	op    Opcode
+	shape string // "", "ri", "rrr", "rri", "mem", "rrl", "l"
+}
+
+var mnemonics = map[string]opSpec{
+	"nop":  {OpNop, ""},
+	"halt": {OpHalt, ""},
+	"li":   {OpLi, "ri"},
+	"add":  {OpAdd, "rrr"},
+	"sub":  {OpSub, "rrr"},
+	"mul":  {OpMul, "rrr"},
+	"div":  {OpDiv, "rrr"},
+	"and":  {OpAnd, "rrr"},
+	"or":   {OpOr, "rrr"},
+	"xor":  {OpXor, "rrr"},
+	"sll":  {OpSll, "rrr"},
+	"srl":  {OpSrl, "rrr"},
+	"slt":  {OpSlt, "rrr"},
+	"addi": {OpAddi, "rri"},
+	"fadd": {OpFAdd, "rrr"},
+	"fmul": {OpFMul, "rrr"},
+	"fdiv": {OpFDiv, "rrr"},
+	"lw":   {OpLw, "mem"},
+	"sw":   {OpSw, "mem"},
+	"beq":  {OpBeq, "rrl"},
+	"bne":  {OpBne, "rrl"},
+	"blt":  {OpBlt, "rrl"},
+	"bge":  {OpBge, "rrl"},
+	"j":    {OpJ, "l"},
+}
+
+// Assemble parses the source into a Program. Errors carry line numbers.
+func Assemble(src string) (*Program, error) {
+	type pending struct {
+		instIdx int
+		label   string
+		line    int
+	}
+	p := &Program{Labels: map[string]int{}}
+	var fixups []pending
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly several) prefix the instruction.
+		for {
+			colon := strings.Index(line, ":")
+			if colon < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:colon])
+			if !validLabel(label) {
+				return nil, fmt.Errorf("vm: line %d: bad label %q", lineNo+1, label)
+			}
+			if _, dup := p.Labels[label]; dup {
+				return nil, fmt.Errorf("vm: line %d: duplicate label %q", lineNo+1, label)
+			}
+			p.Labels[label] = len(p.Insts)
+			line = strings.TrimSpace(line[colon+1:])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		spec, ok := mnemonics[strings.ToLower(fields[0])]
+		if !ok {
+			return nil, fmt.Errorf("vm: line %d: unknown mnemonic %q", lineNo+1, fields[0])
+		}
+		operands := splitOperands(strings.TrimSpace(line[len(fields[0]):]))
+		in := Inst{Op: spec.op, Line: lineNo + 1}
+		var err error
+		switch spec.shape {
+		case "":
+			if len(operands) != 0 && operands[0] != "" {
+				err = fmt.Errorf("takes no operands")
+			}
+		case "ri":
+			if len(operands) != 2 {
+				err = fmt.Errorf("want rd, imm")
+				break
+			}
+			if in.Rd, err = parseReg(operands[0]); err != nil {
+				break
+			}
+			in.Imm, err = parseImm(operands[1])
+		case "rrr":
+			if len(operands) != 3 {
+				err = fmt.Errorf("want rd, rs, rt")
+				break
+			}
+			if in.Rd, err = parseReg(operands[0]); err != nil {
+				break
+			}
+			if in.Rs, err = parseReg(operands[1]); err != nil {
+				break
+			}
+			in.Rt, err = parseReg(operands[2])
+		case "rri":
+			if len(operands) != 3 {
+				err = fmt.Errorf("want rd, rs, imm")
+				break
+			}
+			if in.Rd, err = parseReg(operands[0]); err != nil {
+				break
+			}
+			if in.Rs, err = parseReg(operands[1]); err != nil {
+				break
+			}
+			in.Imm, err = parseImm(operands[2])
+		case "mem":
+			if len(operands) != 2 {
+				err = fmt.Errorf("want r, off(base)")
+				break
+			}
+			if in.Rd, err = parseReg(operands[0]); err != nil {
+				break
+			}
+			in.Imm, in.Rs, err = parseMem(operands[1])
+		case "rrl":
+			if len(operands) != 3 {
+				err = fmt.Errorf("want rs, rt, label")
+				break
+			}
+			if in.Rs, err = parseReg(operands[0]); err != nil {
+				break
+			}
+			if in.Rt, err = parseReg(operands[1]); err != nil {
+				break
+			}
+			fixups = append(fixups, pending{len(p.Insts), operands[2], lineNo + 1})
+		case "l":
+			if len(operands) != 1 {
+				err = fmt.Errorf("want label")
+				break
+			}
+			fixups = append(fixups, pending{len(p.Insts), operands[0], lineNo + 1})
+		}
+		if err != nil {
+			return nil, fmt.Errorf("vm: line %d: %s: %v", lineNo+1, fields[0], err)
+		}
+		p.Insts = append(p.Insts, in)
+	}
+	for _, f := range fixups {
+		target, ok := p.Labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("vm: line %d: undefined label %q", f.line, f.label)
+		}
+		p.Insts[f.instIdx].Target = target
+	}
+	return p, nil
+}
+
+func validLabel(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	_, isReg := mnemonics[strings.ToLower(s)]
+	return !isReg
+}
+
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseReg(s string) (uint8, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func parseImm(s string) (int64, error) {
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return v, nil
+}
+
+// parseMem parses "off(rbase)".
+func parseMem(s string) (int64, uint8, error) {
+	open := strings.Index(s, "(")
+	close := strings.LastIndex(s, ")")
+	if open < 0 || close < open {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	offText := strings.TrimSpace(s[:open])
+	off := int64(0)
+	if offText != "" {
+		var err error
+		if off, err = parseImm(offText); err != nil {
+			return 0, 0, err
+		}
+	}
+	reg, err := parseReg(s[open+1 : close])
+	if err != nil {
+		return 0, 0, err
+	}
+	return off, reg, nil
+}

@@ -1,0 +1,33 @@
+package vm
+
+import (
+	"testing"
+)
+
+// FuzzAssemble checks the assembler never panics and that whatever it
+// accepts also executes without panicking (bounded).
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"li r1, 42\nhalt",
+		"loop: addi r1, r1, 1\nbne r1, r2, loop",
+		KernelVecAdd,
+		KernelMemcpy,
+		"lw r1, 0(r2)\nsw r1, 4(r2)",
+		"x: j x",
+		"; only a comment",
+		"add r1, r2, r3, r4",
+		"beq r1 r2 missing_commas",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		m := New(prog)
+		m.SetTracing(false)
+		_ = m.Run(10_000) // traps and step bounds are fine; panics are not
+	})
+}

@@ -1,0 +1,121 @@
+// A small library of hand-written assembly kernels — the classic
+// bandwidth-analysis programs (vector operations, reductions, copies,
+// stencils) in runnable form. Each kernel documents its register calling
+// convention; tests validate functional results against Go reference
+// implementations and then drive the timing cores with the retired
+// streams. The STREAM-style kernels are the purest expression of the
+// paper's subject: programs whose performance is exactly their memory
+// bandwidth.
+package vm
+
+// KernelVecAdd computes c[i] = a[i] + b[i] for i in [0, n).
+// Inputs: r20=a base, r21=b base, r22=c base, r4=n.
+const KernelVecAdd = `
+	li   r1, 0               ; i
+vloop:	bge  r1, r4, done
+	sll  r8, r1, r26         ; i*4 (r26 = 2)
+	add  r9, r8, r20
+	lw   r10, 0(r9)          ; a[i]
+	add  r9, r8, r21
+	lw   r11, 0(r9)          ; b[i]
+	fadd r12, r10, r11
+	add  r9, r8, r22
+	sw   r12, 0(r9)          ; c[i]
+	addi r1, r1, 1
+	j    vloop
+done:	halt
+`
+
+// KernelDotProduct computes r2 = sum(a[i]*b[i]).
+// Inputs: r20=a base, r21=b base, r4=n. Output: r2.
+const KernelDotProduct = `
+	li   r1, 0
+	li   r2, 0
+dloop:	bge  r1, r4, ddone
+	sll  r8, r1, r26
+	add  r9, r8, r20
+	lw   r10, 0(r9)
+	add  r9, r8, r21
+	lw   r11, 0(r9)
+	fmul r10, r10, r11
+	fadd r2, r2, r10
+	addi r1, r1, 1
+	j    dloop
+ddone:	halt
+`
+
+// KernelMemcpy copies n words from r20 to r22, 4-way unrolled.
+// Inputs: r20=src, r22=dst, r4=n (must be a multiple of 4).
+const KernelMemcpy = `
+	li   r1, 0
+cloop:	bge  r1, r4, cdone
+	sll  r8, r1, r26
+	add  r9, r8, r20
+	add  r13, r8, r22
+	lw   r10, 0(r9)
+	lw   r11, 4(r9)
+	lw   r12, 8(r9)
+	lw   r14, 12(r9)
+	sw   r10, 0(r13)
+	sw   r11, 4(r13)
+	sw   r12, 8(r13)
+	sw   r14, 12(r13)
+	addi r1, r1, 4
+	j    cloop
+cdone:	halt
+`
+
+// KernelStencil3 computes b[i] = a[i-1] + a[i] + a[i+1] for i in [1, n-1).
+// Inputs: r20=a base, r22=b base, r4=n.
+const KernelStencil3 = `
+	li   r1, 1
+sloop:	addi r8, r4, -1
+	bge  r1, r8, sdone
+	sll  r8, r1, r26
+	add  r9, r8, r20
+	lw   r10, -4(r9)
+	lw   r11, 0(r9)
+	lw   r12, 4(r9)
+	fadd r10, r10, r11
+	fadd r10, r10, r12
+	add  r9, r8, r22
+	sw   r10, 0(r9)
+	addi r1, r1, 1
+	j    sloop
+sdone:	halt
+`
+
+// KernelReverse reverses n words in place at r20 (n even).
+// Inputs: r20=base, r4=n.
+const KernelReverse = `
+	li   r1, 0               ; lo index
+	addi r2, r4, -1          ; hi index
+rloop:	bge  r1, r2, rdone
+	sll  r8, r1, r26
+	add  r8, r8, r20
+	sll  r9, r2, r26
+	add  r9, r9, r20
+	lw   r10, 0(r8)
+	lw   r11, 0(r9)
+	sw   r11, 0(r8)
+	sw   r10, 0(r9)
+	addi r1, r1, 1
+	addi r2, r2, -1
+	j    rloop
+rdone:	halt
+`
+
+// NewKernel assembles a kernel, wires the standard calling convention
+// (r26 = log2 word size), and preloads the given base registers.
+func NewKernel(src string, regs map[uint8]int64) (*Machine, error) {
+	prog, err := Assemble(src)
+	if err != nil {
+		return nil, err
+	}
+	m := New(prog)
+	m.Regs[26] = 2 // log2(word size)
+	for r, v := range regs {
+		m.Regs[r] = v
+	}
+	return m, nil
+}

@@ -1,0 +1,159 @@
+// The seven SPEC95 surrogate generators (paper Table 3: Applu, Hydro2D,
+// Li, Perl, Su2cor, Swim, Vortex).
+package workload
+
+import (
+	"fmt"
+
+	"memwall/internal/isa"
+)
+
+// genApplu models SPEC95 applu: a 3-D implicit grid solver (33x33x33 in
+// the paper) sweeping several field arrays with a seven-point stencil.
+func genApplu(k *kernel) {
+	b := k.b
+	dim := 24
+	fields := 5
+	grids := make([]uint64, fields)
+	for g := range grids {
+		grids[g] = k.alloc(fmt.Sprintf("field%d", g), dim*dim*dim*4, 4096)
+	}
+	at := func(g uint64, x, y, z int) uint64 { return word(g, (x*dim+y)*dim+z) }
+	iters := 2 * k.scale
+	inner := dim - 2
+	for it := 0; it < iters; it++ {
+		k.loop("applu.sweep", inner*inner*inner, func(cell int) {
+			x := 1 + cell/(inner*inner)
+			y := 1 + (cell/inner)%inner
+			z := 1 + cell%inner
+			b.Load("applu.c", rF0, at(grids[0], x, y, z), rIdx)
+			b.Load("applu.xm", rF1, at(grids[0], x-1, y, z), rIdx)
+			b.Load("applu.xp", rF2, at(grids[0], x+1, y, z), rIdx)
+			b.Load("applu.ym", rF3, at(grids[0], x, y-1, z), rIdx)
+			b.Load("applu.yp", rF4, at(grids[0], x, y+1, z), rIdx)
+			b.OpRRR("applu.a1", isa.FAdd, rF1, rF1, rF2)
+			b.OpRRR("applu.a2", isa.FAdd, rF3, rF3, rF4)
+			b.OpRRR("applu.a3", isa.FAdd, rF0, rF0, rF1)
+			b.OpRRR("applu.a4", isa.FAdd, rF0, rF0, rF3)
+			b.Load("applu.rhs", rF1, at(grids[1], x, y, z), rIdx2)
+			b.OpRRR("applu.m1", isa.FMul, rF0, rF0, rF1)
+			b.Load("applu.jac", rF2, at(grids[2], x, y, z), rIdx2)
+			b.OpRRR("applu.m2", isa.FMul, rF0, rF0, rF2)
+			b.Store("applu.sol", rF0, at(grids[3], x, y, z), rIdx)
+			b.Store("applu.res", rF1, at(grids[4], x, y, z), rIdx)
+		})
+	}
+}
+
+// genHydro2d models SPEC95 hydro2d: 2-D hydrodynamical Navier-Stokes
+// sweeps — streaming stencil passes over half a dozen state arrays.
+func genHydro2d(k *kernel) {
+	k.stencil2D("hyd", 128, 128, 6, 2)
+}
+
+// genLi models SPEC95 li (xlisp): an interpreter chasing cons cells in a
+// small heap (Table 3: 0.12 MB) with very frequent, data-dependent
+// branching — a cache-resident, branch-limited integer code.
+func genLi(k *kernel) {
+	b := k.b
+	heapCells := 12 * 1024 // cons cells of 2 words: 96 KB
+	heap := k.alloc("cons-heap", heapCells*2*4, 4096)
+	// Build deterministic "list structure": cell i points to a nearby
+	// cell, with occasional long jumps (cdr-coded locality).
+	next := make([]int, heapCells)
+	for i := range next {
+		if k.rng.Float64() < 0.85 {
+			next[i] = (i + 1 + k.rng.Intn(8)) % heapCells
+		} else {
+			next[i] = k.rng.Intn(heapCells)
+		}
+	}
+	evals := 28000 * k.scale
+	cur := 0
+	k.loop("li.eval", evals, func(i int) {
+		// car: read the value word; cdr: follow the pointer word.
+		b.Load("li.car", rTmp1, word(heap, cur*2), rAddr)
+		b.Load("li.cdr", rAddr, word(heap, cur*2+1), rAddr)
+		b.OpRRR("li.tag", isa.IALU, rCond, rTmp1, rZero)
+		switch {
+		case k.condBranch("li.isnum", rCond, 0.4):
+			b.OpRRR("li.add", isa.IALU, rAcc, rAcc, rTmp1)
+		case k.condBranch("li.iscons", rCond, 0.5):
+			// Allocate/update a cell (mutation).
+			b.Store("li.setcar", rAcc, word(heap, cur*2), rAddr)
+		default:
+			b.OpRRR("li.nil", isa.IALU, rAcc, rAcc, rZero)
+		}
+		cur = next[cur]
+	})
+}
+
+// genPerl models SPEC95 perl: hash-table driven string processing over a
+// data set far larger than any cache (Table 3: 25.7 MB, scaled down) —
+// associative lookups mixed with sequential buffer scans.
+func genPerl(k *kernel) {
+	b := k.b
+	tableWords := 256 * 1024 // 1 MB hash table
+	bufWords := 96 * 1024    // 384 KB string buffer
+	table := k.alloc("symbol-table", tableWords*4, 4096)
+	buf := k.alloc("string-buffer", bufWords*4, 4096)
+	ops := 11000 * k.scale
+	pos := 0
+	k.loop("perl.op", ops, func(i int) {
+		// Scan a short run of the string buffer (spatial locality).
+		run := 4 + k.rng.Intn(12)
+		for w := 0; w < run; w++ {
+			b.Load("perl.scan", rTmp1, word(buf, (pos+w)%bufWords), rIdx)
+			b.OpRRR("perl.h", isa.IALU, rHash, rHash, rTmp1)
+		}
+		pos = (pos + run) % bufWords
+		// Hash lookup: scattered-Zipf popularity over the symbol table.
+		slot := k.zipfSlot(tableWords)
+		b.Load("perl.lookup", rTmp2, word(table, slot), rHash)
+		if k.condBranch("perl.found", rTmp2, 0.5) {
+			b.OpRRR("perl.use", isa.IALU, rAcc, rAcc, rTmp2)
+		} else {
+			b.Store("perl.ins", rHash, word(table, slot), rHash)
+		}
+	})
+}
+
+// genSu2cor95 models SPEC95 su2cor: the same conflicting-array FMA sweeps
+// as the SPEC92 version, over larger arrays (Table 3: 22.5 MB, scaled).
+func genSu2cor95(k *kernel) {
+	k.su2corKernel(16*1024, 3) // 64 KB arrays, 3 relaxation passes
+}
+
+// genSwim95 models SPEC95 swim: the shallow-water code on a larger grid
+// (Table 3: 14.5 MB, scaled) — streaming stencils, no small working set.
+func genSwim95(k *kernel) {
+	k.stencil2D("swim", 128, 128, 4, 2)
+}
+
+// genVortex models SPEC95 vortex: an object-oriented database. Each
+// transaction chases an object graph (little spatial locality between
+// objects, good locality within a 64-byte record) and updates fields.
+func genVortex(k *kernel) {
+	b := k.b
+	const recWords = 16  // 64-byte records
+	records := 12 * 1024 // 768 KB heap
+	heap := k.alloc("object-heap", records*recWords*4, 4096)
+	txns := 16000 * k.scale
+	k.loop("vtx.txn", txns, func(i int) {
+		r := k.zipfSlot(records)
+		// Chase two levels of object references.
+		for hop := 0; hop < 2; hop++ {
+			b.Load("vtx.ref", rAddr, word(heap, r*recWords), rAddr)
+			// Read a few fields of the record (spatial locality).
+			for f := 1; f <= 4; f++ {
+				b.Load("vtx.fld", rTmp1, word(heap, r*recWords+f), rAddr)
+				b.OpRRR("vtx.acc", isa.IALU, rAcc, rAcc, rTmp1)
+			}
+			r = k.zipfSlot(records)
+		}
+		if k.condBranch("vtx.upd", rAcc, 0.45) {
+			b.Store("vtx.st1", rAcc, word(heap, r*recWords+5), rAddr)
+			b.Store("vtx.st2", rTmp1, word(heap, r*recWords+6), rAddr)
+		}
+	})
+}

@@ -1,0 +1,146 @@
+package memwall
+
+import (
+	"testing"
+
+	"memwall/internal/cache"
+)
+
+func TestWorkloadsList(t *testing.T) {
+	names := Workloads()
+	if len(names) != 14 {
+		t.Fatalf("Workloads() = %d names", len(names))
+	}
+}
+
+func TestGenerateWorkload(t *testing.T) {
+	p, err := GenerateWorkload("compress", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "compress" || len(p.Insts) == 0 {
+		t.Error("bad program")
+	}
+	if _, err := GenerateWorkload("bogus", 1); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestMeasureTraffic(t *testing.T) {
+	p, err := GenerateWorkload("espresso", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MeasureTraffic(p, 16<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheBytes <= 0 || res.MTCBytes <= 0 {
+		t.Errorf("traffic = %+v", res)
+	}
+	if res.Inefficiency < 1 {
+		t.Errorf("G = %v < 1: cache beat the MTC", res.Inefficiency)
+	}
+	if res.TrafficRatio <= 0 {
+		t.Error("R must be positive")
+	}
+	if res.MissRate <= 0 || res.MissRate > 1 {
+		t.Errorf("miss rate %v", res.MissRate)
+	}
+}
+
+func TestMeasureTrafficConfig(t *testing.T) {
+	p, err := GenerateWorkload("espresso", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cache.Config{Size: 8 << 10, BlockSize: 64, Assoc: 4}
+	res, err := MeasureTrafficConfig(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheBytes <= 0 {
+		t.Error("no traffic measured")
+	}
+	bad := cache.Config{Size: 100, BlockSize: 32}
+	if _, err := MeasureTrafficConfig(p, bad); err == nil {
+		t.Error("invalid cache config accepted")
+	}
+}
+
+func TestEffectiveBandwidthHelpers(t *testing.T) {
+	if EffectivePinBandwidth(1600, 0.5) != 3200 {
+		t.Error("E_pin math")
+	}
+	if OptimalEffectivePinBandwidth(1600, 10, 0.5) != 32000 {
+		t.Error("OE_pin math")
+	}
+}
+
+func TestRunExperiment(t *testing.T) {
+	p, err := GenerateWorkload("espresso", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevFB float64 = -1
+	for _, exp := range []string{"A", "F"} {
+		res, err := RunExperiment(exp, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Validate(); err != nil {
+			t.Errorf("%s: %v", exp, err)
+		}
+		if res.FB() < 0 || res.FB() > 1 {
+			t.Errorf("%s: f_B = %v", exp, res.FB())
+		}
+		prevFB = res.FB()
+	}
+	_ = prevFB
+	if _, err := RunExperiment("Z", p); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestExperimentsList(t *testing.T) {
+	if got := Experiments(); len(got) != 6 || got[0] != "A" || got[5] != "F" {
+		t.Errorf("Experiments() = %v", got)
+	}
+}
+
+// TestPaperHeadlineClaims ties the public API to the paper's central
+// quantitative claims in one integration test.
+func TestPaperHeadlineClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	// Claim (Table 6): on an aggressively latency-tolerant machine (F),
+	// bandwidth stalls exceed latency stalls for bandwidth-bound codes.
+	p, err := GenerateWorkload("su2cor", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := RunExperiment("A", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := RunExperiment("F", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FL() <= a.FB() {
+		t.Errorf("experiment A: expected f_L (%.2f) > f_B (%.2f)", a.FL(), a.FB())
+	}
+	if f.FB() <= f.FL() {
+		t.Errorf("experiment F: expected f_B (%.2f) > f_L (%.2f)", f.FB(), f.FL())
+	}
+	// Claim (Table 8): the cache/MTC traffic gap is large for
+	// conflict-and-probe codes.
+	tr, err := MeasureTraffic(p, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Inefficiency < 5 {
+		t.Errorf("su2cor G = %.1f, expected a large traffic gap", tr.Inefficiency)
+	}
+}
