@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench vet fmt figures paper selfcheck clean
+.PHONY: all build test bench vet fmt figures paper selfcheck profile race clean
 
 all: build test
 
@@ -33,5 +33,13 @@ figures:
 selfcheck:
 	$(GO) run ./cmd/memwall selfcheck
 
+# Simulator-throughput baseline: saves the sim-cycles/sec table so before/
+# after comparisons of simulator performance have something to diff against.
+profile:
+	$(GO) run ./cmd/memwall profile | tee profile_baseline.txt
+
+race:
+	$(GO) test -race -short ./...
+
 clean:
-	rm -rf figures test_output.txt bench_output.txt
+	rm -rf figures test_output.txt bench_output.txt profile_baseline.txt

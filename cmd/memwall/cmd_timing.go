@@ -80,7 +80,7 @@ func runFig3(args []string) error {
 		if err != nil {
 			return err
 		}
-		cells, err := core.Figure3(suite, progs, *cacheScale)
+		cells, err := core.Figure3Observed(suite, progs, *cacheScale, observation())
 		if err != nil {
 			return err
 		}
@@ -163,6 +163,7 @@ func runTable6(args []string) error {
 				if err != nil {
 					return err
 				}
+				m.Obs = observation()
 				res, err := core.Decompose(m, p.Stream())
 				if err != nil {
 					return err
@@ -201,6 +202,7 @@ func runTable1(args []string) error {
 	if err != nil {
 		return err
 	}
+	base.Obs = observation()
 	baseRes, err := core.Decompose(base, p.Stream())
 	if err != nil {
 		return err

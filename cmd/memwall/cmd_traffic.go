@@ -92,6 +92,8 @@ func runTable7(args []string) error {
 			if err != nil {
 				return err
 			}
+			res.Stats.Publish(observation().Metrics,
+				fmt.Sprintf("cache.%s.%s", name, tablefmt.Bytes(int64(sz))))
 			if res.FitsDataSet {
 				row = append(row, "<<<")
 			} else {

@@ -21,7 +21,11 @@
 //	table9       Tables 9–10: inefficiency-gap factor isolation
 //	epin         Equations 5 & 7: effective pin bandwidth and its bound
 //	extrapolate  Section 4.3: the processor of 2006
+//	profile      simulation-throughput table, experiments A–F
 //	all          run everything above in order
+//
+// Every command also accepts the global observability flags -metrics,
+// -events, -cpuprofile, -memprofile, and -progress (see observe.go).
 package main
 
 import (
@@ -53,6 +57,42 @@ func usage() {
 	}
 }
 
+// allCuratedOrder is the paper-presentation order for `memwall all`; it
+// mirrors the order of the tables and figures in the paper.
+var allCuratedOrder = []string{
+	"fig1", "table2", "fig2", "table3", "fig3", "table1",
+	"table6", "table7", "table8", "fig4", "table9", "epin",
+	"extrapolate", "buses", "cmp", "ablate", "future", "scratchpad",
+}
+
+// allExcluded names registered commands `memwall all` deliberately skips:
+// machine-readable exporters, self-diagnostics, and the profiler.
+var allExcluded = map[string]bool{
+	"export":    true,
+	"selfcheck": true,
+	"profile":   true,
+}
+
+// allOrder derives the `all` run list from the command registry: the
+// curated paper order first, then any newly registered command that is
+// neither curated nor excluded (sorted, so additions are never silently
+// dropped from `all`).
+func allOrder() []string {
+	curated := map[string]bool{}
+	for _, n := range allCuratedOrder {
+		curated[n] = true
+	}
+	order := append([]string(nil), allCuratedOrder...)
+	var extra []string
+	for _, c := range commands {
+		if !curated[c.name] && !allExcluded[c.name] {
+			extra = append(extra, c.name)
+		}
+	}
+	sort.Strings(extra)
+	return append(order, extra...)
+}
+
 func main() {
 	if len(os.Args) < 2 {
 		usage()
@@ -60,20 +100,29 @@ func main() {
 	}
 	name := os.Args[1]
 	if name == "all" {
-		order := []string{
-			"fig1", "table2", "fig2", "table3", "fig3", "table1",
-			"table6", "table7", "table8", "fig4", "table9", "epin",
-			"extrapolate", "buses", "cmp", "ablate", "future", "scratchpad",
-		}
-		for _, n := range order {
-			if err := dispatch(n, nil); err != nil {
-				fmt.Fprintf(os.Stderr, "memwall %s: %v\n", n, err)
-				os.Exit(1)
+		opts, rest, err := splitGlobalFlags(os.Args[2:])
+		if err != nil || len(rest) > 0 {
+			if err == nil {
+				err = fmt.Errorf("unexpected arguments %v", rest)
 			}
+			fmt.Fprintf(os.Stderr, "memwall all: %v\n", err)
+			os.Exit(2)
+		}
+		err = runObserved("all", nil, opts, func() error {
+			for _, n := range allOrder() {
+				if err := dispatch(n, nil); err != nil {
+					return fmt.Errorf("%s: %w", n, err)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memwall %v\n", err)
+			os.Exit(1)
 		}
 		return
 	}
-	if err := dispatch(name, os.Args[2:]); err != nil {
+	if err := runCommand(name, os.Args[2:]); err != nil {
 		if err == flag.ErrHelp {
 			os.Exit(2)
 		}

@@ -253,3 +253,85 @@ func TestScratchpadOutput(t *testing.T) {
 		}
 	}
 }
+
+// Satellite fix: the `all` order is derived from the registry, so a newly
+// registered command can never be silently missing from `memwall all`.
+func TestAllOrderCoversRegistry(t *testing.T) {
+	order := allOrder()
+	inOrder := map[string]bool{}
+	for _, n := range order {
+		if inOrder[n] {
+			t.Errorf("command %s appears twice in the all order", n)
+		}
+		inOrder[n] = true
+	}
+	for _, c := range commands {
+		if allExcluded[c.name] {
+			if inOrder[c.name] {
+				t.Errorf("excluded command %s appears in the all order", c.name)
+			}
+			continue
+		}
+		if !inOrder[c.name] {
+			t.Errorf("registered command %s missing from the all order", c.name)
+		}
+	}
+	// Every name in the order (and in the exclusion set) must resolve.
+	registered := map[string]bool{}
+	for _, c := range commands {
+		registered[c.name] = true
+	}
+	for _, n := range order {
+		if !registered[n] {
+			t.Errorf("all order names unregistered command %s", n)
+		}
+	}
+	for n := range allExcluded {
+		if !registered[n] {
+			t.Errorf("exclusion list names unregistered command %s", n)
+		}
+	}
+}
+
+func TestSplitGlobalFlags(t *testing.T) {
+	opts, rest, err := splitGlobalFlags([]string{
+		"-suite", "92", "-metrics", "m.json", "--events=e.jsonl",
+		"-progress", "-cpuprofile", "cpu.pb", "-memprofile=heap.pb", "-scale", "2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.metricsPath != "m.json" || opts.eventsPath != "e.jsonl" ||
+		opts.cpuProfile != "cpu.pb" || opts.memProfile != "heap.pb" || !opts.progress {
+		t.Errorf("bad opts: %+v", opts)
+	}
+	want := []string{"-suite", "92", "-scale", "2"}
+	if len(rest) != len(want) {
+		t.Fatalf("rest = %v, want %v", rest, want)
+	}
+	for i := range want {
+		if rest[i] != want[i] {
+			t.Fatalf("rest = %v, want %v", rest, want)
+		}
+	}
+	if _, _, err := splitGlobalFlags([]string{"-metrics"}); err == nil {
+		t.Error("dangling -metrics accepted")
+	}
+	opts, _, err = splitGlobalFlags([]string{"-progress=false"})
+	if err != nil || opts.progress {
+		t.Errorf("-progress=false: opts=%+v err=%v", opts, err)
+	}
+}
+
+func TestScrapeIntFlag(t *testing.T) {
+	args := []string{"-suite", "92", "-cachescale=8", "-scale", "3"}
+	if v := scrapeIntFlag(args, "scale", 1); v != 3 {
+		t.Errorf("scale = %d, want 3", v)
+	}
+	if v := scrapeIntFlag(args, "cachescale", 16); v != 8 {
+		t.Errorf("cachescale = %d, want 8", v)
+	}
+	if v := scrapeIntFlag(args, "missing", 7); v != 7 {
+		t.Errorf("default = %d, want 7", v)
+	}
+}

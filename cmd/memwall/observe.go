@@ -1,0 +1,198 @@
+// Global observability flags, shared by every subcommand:
+//
+//	-metrics <file.json>    write a telemetry.Report (manifest + counters)
+//	-events <file.jsonl>    write Chrome-trace spans (load in Perfetto)
+//	-cpuprofile <file>      write a pprof CPU profile
+//	-memprofile <file>      write a pprof heap profile at exit
+//	-progress               print a sim-cycles/sec heartbeat to stderr
+//
+// They appear before the subcommand's own flags are parsed, so
+// `memwall fig3 -metrics out.json -suite 92` works: splitGlobalFlags
+// peels the telemetry flags off and hands the rest to the command.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"memwall/internal/telemetry"
+	"memwall/internal/workload"
+)
+
+// globalOpts are the parsed observability flags.
+type globalOpts struct {
+	metricsPath string
+	eventsPath  string
+	cpuProfile  string
+	memProfile  string
+	progress    bool
+}
+
+// globalFlagNames maps each global flag to whether it takes a value.
+var globalFlagNames = map[string]bool{
+	"metrics":    true,
+	"events":     true,
+	"cpuprofile": true,
+	"memprofile": true,
+	"progress":   false,
+}
+
+// splitGlobalFlags extracts the observability flags from args, in any
+// position, and returns the remaining arguments for the subcommand's own
+// FlagSet. Both "-flag value" and "-flag=value" spellings are accepted,
+// with one or two dashes.
+func splitGlobalFlags(args []string) (globalOpts, []string, error) {
+	var opts globalOpts
+	var rest []string
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		name, value, hasValue := "", "", false
+		if strings.HasPrefix(a, "-") {
+			name = strings.TrimLeft(a, "-")
+			if eq := strings.IndexByte(name, '='); eq >= 0 {
+				name, value, hasValue = name[:eq], name[eq+1:], true
+			}
+		}
+		takesValue, ok := globalFlagNames[name]
+		if !ok {
+			rest = append(rest, a)
+			continue
+		}
+		if takesValue && !hasValue {
+			if i+1 >= len(args) {
+				return opts, nil, fmt.Errorf("flag -%s needs a value", name)
+			}
+			i++
+			value = args[i]
+		}
+		switch name {
+		case "metrics":
+			opts.metricsPath = value
+		case "events":
+			opts.eventsPath = value
+		case "cpuprofile":
+			opts.cpuProfile = value
+		case "memprofile":
+			opts.memProfile = value
+		case "progress":
+			opts.progress = true
+			if hasValue {
+				b, err := strconv.ParseBool(value)
+				if err != nil {
+					return opts, nil, fmt.Errorf("flag -progress: %v", err)
+				}
+				opts.progress = b
+			}
+		}
+	}
+	return opts, rest, nil
+}
+
+// currentObs is the run-wide observation bundle, set up by runCommand and
+// read by subcommands via observation(). Zero-valued when no telemetry
+// flag was given, which disables all instrumentation.
+var currentObs telemetry.Observation
+
+// observation returns the telemetry hooks for the current invocation.
+func observation() telemetry.Observation { return currentObs }
+
+// scrapeIntFlag finds the value of an integer flag in a raw argument list
+// without consuming it; def is returned when absent or malformed. Used to
+// record -scale/-cachescale in the manifest before the subcommand's own
+// FlagSet parses them.
+func scrapeIntFlag(args []string, name string, def int) int {
+	for i := 0; i < len(args); i++ {
+		a := strings.TrimLeft(args[i], "-")
+		if a == name && i+1 < len(args) {
+			if v, err := strconv.Atoi(args[i+1]); err == nil {
+				return v
+			}
+		}
+		if rest, ok := strings.CutPrefix(a, name+"="); ok {
+			if v, err := strconv.Atoi(rest); err == nil {
+				return v
+			}
+		}
+	}
+	return def
+}
+
+// runCommand wraps dispatch with the observability envelope: it peels the
+// global flags off args, builds the telemetry sinks, runs the command, and
+// tears everything down (flushing the metrics report, trace file, and
+// profiles) even when the command fails.
+func runCommand(name string, args []string) error {
+	opts, rest, err := splitGlobalFlags(args)
+	if err != nil {
+		return err
+	}
+	return runObserved(name, rest, opts, func() error {
+		return dispatch(name, rest)
+	})
+}
+
+// runObserved executes fn inside the telemetry envelope described by opts.
+func runObserved(name string, rest []string, opts globalOpts, fn func() error) error {
+	var obs telemetry.Observation
+	var sink *telemetry.EventSink
+	var prog *telemetry.Progress
+	var stopCPU func()
+
+	if opts.metricsPath != "" {
+		obs.Metrics = telemetry.NewRegistry()
+	}
+	if opts.eventsPath != "" {
+		s, err := telemetry.CreateEventSink(opts.eventsPath)
+		if err != nil {
+			return err
+		}
+		sink = s
+		obs.Tracer = telemetry.NewTracer(sink)
+	}
+	if opts.progress {
+		prog = telemetry.NewProgress(os.Stderr, 0)
+		obs.Progress = prog.Beat
+	}
+	if opts.cpuProfile != "" {
+		stop, err := telemetry.StartCPUProfile(opts.cpuProfile)
+		if err != nil {
+			return err
+		}
+		stopCPU = stop
+	}
+
+	man := telemetry.NewManifest("memwall", name, rest)
+	man.Seed = workload.BaseSeed
+	man.Scale = scrapeIntFlag(rest, "scale", 1)
+	man.CacheScale = scrapeIntFlag(rest, "cachescale", 16)
+	start := time.Now()
+
+	currentObs = obs
+	runErr := fn()
+	currentObs = telemetry.Observation{}
+
+	prog.Done()
+	if stopCPU != nil {
+		stopCPU()
+	}
+	if opts.memProfile != "" {
+		if err := telemetry.WriteHeapProfile(opts.memProfile); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	if sink != nil {
+		if err := sink.Close(); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	if opts.metricsPath != "" && runErr == nil {
+		man.WallSeconds = time.Since(start).Seconds()
+		if err := telemetry.NewReport(man, obs.Metrics).WriteFile(opts.metricsPath); err != nil {
+			runErr = err
+		}
+	}
+	return runErr
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"memwall/internal/stats"
+	"memwall/internal/telemetry"
 	"memwall/internal/trace"
 )
 
@@ -209,6 +210,32 @@ type Stats struct {
 // + write-through), excluding request/address traffic, as in the paper.
 func (s Stats) TrafficBytes() int64 {
 	return s.FetchBytes + s.WriteBackBytes + s.WriteThroughBytes
+}
+
+// Publish folds the statistics into reg as counters named
+// "<prefix>.<field>" (e.g. "cache.compress.64KB.misses"). A nil registry
+// publishes nothing, so trace-driven sweeps can call this unconditionally.
+func (s Stats) Publish(reg *telemetry.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	for _, c := range []struct {
+		name string
+		v    int64
+	}{
+		{"accesses", s.Accesses},
+		{"reads", s.Reads},
+		{"writes", s.Writes},
+		{"misses", s.Misses},
+		{"fetches", s.Fetches},
+		{"writebacks", s.WriteBacks},
+		{"fetch_bytes", s.FetchBytes},
+		{"writeback_bytes", s.WriteBackBytes},
+		{"writethrough_bytes", s.WriteThroughBytes},
+	} {
+		reg.Counter(prefix + "." + c.name).Add(c.v)
+	}
+	reg.Gauge(prefix + ".miss_rate").Set(s.MissRate())
 }
 
 // MissRate returns Misses/Accesses (0 if no accesses).

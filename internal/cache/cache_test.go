@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"memwall/internal/stats"
+	"memwall/internal/telemetry"
 	"memwall/internal/trace"
 )
 
@@ -382,4 +383,30 @@ func TestNewRejectsInvalid(t *testing.T) {
 	if _, err := New(Config{Size: 100, BlockSize: 32, Assoc: 1}); err == nil {
 		t.Error("invalid config accepted")
 	}
+}
+
+func TestStatsPublish(t *testing.T) {
+	c, err := New(Config{Size: 1 << 10, BlockSize: 32, Assoc: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refs []trace.Ref
+	for i := 0; i < 64; i++ {
+		refs = append(refs, trace.Ref{Kind: trace.Read, Addr: uint64(i * 64)})
+	}
+	st := c.Run(trace.NewSliceStream(refs))
+	reg := telemetry.NewRegistry()
+	st.Publish(reg, "cache.t")
+	snap := reg.Snapshot()
+	if snap.Counters["cache.t.accesses"] != st.Accesses {
+		t.Errorf("accesses = %d, want %d", snap.Counters["cache.t.accesses"], st.Accesses)
+	}
+	if snap.Counters["cache.t.fetch_bytes"] != st.FetchBytes {
+		t.Errorf("fetch_bytes = %d, want %d", snap.Counters["cache.t.fetch_bytes"], st.FetchBytes)
+	}
+	if snap.Gauges["cache.t.miss_rate"] != st.MissRate() {
+		t.Errorf("miss_rate = %v, want %v", snap.Gauges["cache.t.miss_rate"], st.MissRate())
+	}
+	// Nil registry must be a no-op, not a panic.
+	st.Publish(nil, "cache.t")
 }

@@ -13,10 +13,12 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"memwall/internal/cpu"
 	"memwall/internal/isa"
 	"memwall/internal/mem"
+	"memwall/internal/telemetry"
 )
 
 // Decomposition is the three-way split of a program's execution time.
@@ -87,6 +89,24 @@ type Machine struct {
 	// hierarchy's nanosecond latencies (recorded in Mem already as
 	// cycles) and to report absolute bandwidths.
 	ClockMHz int
+	// Obs carries the optional telemetry hooks (metrics registry, phase
+	// tracer, progress heartbeat) threaded through every simulation of
+	// this machine. The zero value disables all instrumentation.
+	Obs telemetry.Observation
+}
+
+// PhaseWall records the wall-clock time each of the three simulations of
+// Section 3.1 took — the simulator's own cost, not the simulated time.
+// This is what `memwall profile` reports sim-cycles/sec against.
+type PhaseWall struct {
+	Perfect    time.Duration
+	InfiniteBW time.Duration
+	Full       time.Duration
+}
+
+// Total returns the summed wall time of the three phases.
+func (w PhaseWall) Total() time.Duration {
+	return w.Perfect + w.InfiniteBW + w.Full
 }
 
 // DecomposeResult bundles a decomposition with the full-system run's
@@ -95,33 +115,54 @@ type DecomposeResult struct {
 	Decomposition
 	// Full is the result of the complete-memory-system simulation.
 	Full cpu.Result
+	// Wall is the simulator wall time per phase.
+	Wall PhaseWall
 }
 
 // Decompose measures T_P, T_I, and T for program s on machine m by running
 // the three simulations of Section 3.1, and returns the decomposition.
+//
+// If m.Obs is populated, each simulation is traced as a span named
+// "sim:<mode>", the progress heartbeat runs throughout, and the counters
+// of the full-system run (only — the perfect and infinite-bandwidth runs
+// are methodological scaffolding, and publishing them would triple-count
+// every event) are folded into the metrics registry.
 func Decompose(m Machine, s isa.Stream) (DecomposeResult, error) {
 	var out DecomposeResult
-	run := func(mode mem.Mode) (cpu.Result, error) {
+	run := func(mode mem.Mode) (cpu.Result, time.Duration, error) {
 		cfg := m.Mem
 		cfg.Mode = mode
+		ccfg := m.CPU
+		ccfg.Progress = m.Obs.Progress
+		if mode == mem.Full {
+			cfg.Metrics = m.Obs.Metrics
+			ccfg.Metrics = m.Obs.Metrics
+		}
 		h, err := mem.New(cfg)
 		if err != nil {
-			return cpu.Result{}, fmt.Errorf("machine %s: %w", m.Name, err)
+			return cpu.Result{}, 0, fmt.Errorf("machine %s: %w", m.Name, err)
 		}
-		return cpu.Run(m.CPU, h, s)
+		sp := m.Obs.Tracer.StartSpan("sim:"+mode.String(),
+			map[string]any{"machine": m.Name})
+		start := time.Now()
+		res, err := cpu.Run(ccfg, h, s)
+		wall := time.Since(start)
+		sp.End()
+		return res, wall, err
 	}
-	perfect, err := run(mem.Perfect)
+	perfect, wallP, err := run(mem.Perfect)
 	if err != nil {
 		return out, err
 	}
-	infinite, err := run(mem.InfiniteBW)
+	infinite, wallI, err := run(mem.InfiniteBW)
 	if err != nil {
 		return out, err
 	}
-	full, err := run(mem.Full)
+	full, wallF, err := run(mem.Full)
 	if err != nil {
 		return out, err
 	}
+	out.Wall = PhaseWall{Perfect: wallP, InfiniteBW: wallI, Full: wallF}
 	out.TP = perfect.Cycles
 	out.TI = infinite.Cycles
 	out.T = full.Cycles

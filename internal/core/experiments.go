@@ -7,6 +7,7 @@ import (
 
 	"memwall/internal/cpu"
 	"memwall/internal/mem"
+	"memwall/internal/telemetry"
 	"memwall/internal/workload"
 )
 
@@ -161,14 +162,28 @@ type BenchmarkDecomposition struct {
 // size-reduced workloads (see MachinesScaled); pass 1 for the paper-exact
 // Table 4 sizes.
 func Figure3(suite workload.Suite, progs []*workload.Program, cacheScale int) ([]BenchmarkDecomposition, error) {
+	return Figure3Observed(suite, progs, cacheScale, telemetry.Observation{})
+}
+
+// Figure3Observed is Figure3 with telemetry attached: each benchmark is
+// traced as a span ("bench:<name>") enclosing the per-experiment
+// simulation spans, and the full-system runs publish their counters into
+// obs.Metrics (see Decompose).
+func Figure3Observed(suite workload.Suite, progs []*workload.Program, cacheScale int, obs telemetry.Observation) ([]BenchmarkDecomposition, error) {
 	machines := MachinesScaled(suite, cacheScale)
+	for i := range machines {
+		machines[i].Obs = obs
+	}
 	var out []BenchmarkDecomposition
 	for _, p := range progs {
 		var baseTP int64
 		stream := p.Stream()
+		benchSpan := obs.Tracer.StartSpan("bench:"+p.Name,
+			map[string]any{"suite": suite.String(), "refs": p.RefCount()})
 		for _, m := range machines {
 			res, err := Decompose(m, stream)
 			if err != nil {
+				benchSpan.End()
 				return nil, fmt.Errorf("%s/%s: %w", p.Name, m.Name, err)
 			}
 			if m.Name == "A" {
@@ -187,6 +202,7 @@ func Figure3(suite workload.Suite, progs []*workload.Program, cacheScale int) ([
 			}
 			out = append(out, bd)
 		}
+		benchSpan.End()
 	}
 	return out, nil
 }

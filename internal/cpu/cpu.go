@@ -11,6 +11,7 @@ import (
 
 	"memwall/internal/isa"
 	"memwall/internal/mem"
+	"memwall/internal/telemetry"
 )
 
 // Latency table for operation classes, in cycles. Values follow common
@@ -53,6 +54,18 @@ type Config struct {
 	// MispredictPenalty is the fetch-redirect cost in cycles after a
 	// mispredicted branch resolves.
 	MispredictPenalty int64
+	// Metrics, when non-nil, receives the run's counters (instructions
+	// retired, stall cycles by cause, branch mispredicts, and the memory
+	// hierarchy's per-level statistics) at the end of Run. Nil disables
+	// publishing at zero cost to the simulation loop.
+	Metrics *telemetry.Registry
+	// Progress, when non-nil, is called with (instructions, cycles)
+	// deltas every ProgressEvery retired instructions and once at the
+	// end of the run — the heartbeat behind `memwall -progress`.
+	Progress func(insts, cycles int64)
+	// ProgressEvery is the heartbeat granularity in instructions
+	// (default 1<<20 when Progress is set).
+	ProgressEvery int64
 }
 
 // Validate reports configuration errors.
@@ -89,6 +102,19 @@ type Result struct {
 	Branches int64
 	// Mispredicts counts branch mispredictions.
 	Mispredicts int64
+	// Issue-stall cycle attribution. Each field counts processor cycles
+	// the issue (in-order) or dispatch (out-of-order) point could not
+	// advance, attributed to the binding constraint:
+	//
+	//   StallFetch   — fetch redirect after a branch misprediction;
+	//   StallOperand — waiting on operand values (includes load-use
+	//                  latency, so memory stalls surface here);
+	//   StallLS      — all load/store units busy (structural);
+	//   StallWindow  — RUU or LSQ full (out-of-order core only).
+	StallFetch   int64
+	StallOperand int64
+	StallLS      int64
+	StallWindow  int64
 	// Mem is the memory hierarchy's statistics for the run.
 	Mem mem.Stats
 }
@@ -110,20 +136,67 @@ func (r Result) CPI() float64 {
 }
 
 // Run simulates the instruction stream on a core configured by cfg against
-// hierarchy h, resets the stream, and returns the result.
+// hierarchy h, resets the stream, and returns the result. If cfg.Metrics
+// or cfg.Progress is set, the run publishes counters and emits heartbeats
+// (see Config); both default off with no cost to the simulation loop.
 func Run(cfg Config, h *mem.Hierarchy, s isa.Stream) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
+	hb := newHeartbeat(cfg)
 	var r Result
 	if cfg.OutOfOrder {
-		r = runOutOfOrder(cfg, h, s)
+		r = runOutOfOrder(cfg, h, s, hb)
 	} else {
-		r = runInOrder(cfg, h, s)
+		r = runInOrder(cfg, h, s, hb)
+	}
+	if hb != nil {
+		hb.beat(r.Insts, r.Cycles)
 	}
 	r.Mem = h.Stats()
+	publishResult(cfg.Metrics, r)
 	s.Reset()
 	return r, nil
+}
+
+// The two run loops are duplicated per engine type rather than unified
+// over the engine interface: the dynamic dispatch defeats escape analysis
+// of &res and costs several percent on the simulator's hottest loop.
+
+func runInOrder(cfg Config, h *mem.Hierarchy, s isa.Stream, hb *heartbeat) Result {
+	p := newInOrder(cfg, h)
+	var res Result
+	for {
+		in, ok := s.Next()
+		if !ok {
+			break
+		}
+		res.Insts++
+		p.step(in, &res)
+		if hb != nil && res.Insts >= hb.next {
+			hb.beat(res.Insts, p.time())
+		}
+	}
+	res.Cycles = p.finish()
+	return res
+}
+
+func runOutOfOrder(cfg Config, h *mem.Hierarchy, s isa.Stream, hb *heartbeat) Result {
+	p := newOutOfOrder(cfg, h)
+	var res Result
+	for {
+		in, ok := s.Next()
+		if !ok {
+			break
+		}
+		res.Insts++
+		p.step(in, &res)
+		if hb != nil && res.Insts >= hb.next {
+			hb.beat(res.Insts, p.time())
+		}
+	}
+	res.Cycles = p.finish()
+	return res
 }
 
 // maxI64 returns the larger of a and b.

@@ -50,21 +50,6 @@ func (p *inOrder) time() int64 { return p.cycle }
 // finish returns the total cycle count after the last instruction.
 func (p *inOrder) finish() int64 { return maxI64(p.cycle+1, p.lastComplete) }
 
-func runInOrder(cfg Config, h *mem.Hierarchy, s isa.Stream) Result {
-	p := newInOrder(cfg, h)
-	var res Result
-	for {
-		in, ok := s.Next()
-		if !ok {
-			break
-		}
-		res.Insts++
-		p.step(in, &res)
-	}
-	res.Cycles = p.finish()
-	return res
-}
-
 // step issues one instruction, respecting in-order issue, operand
 // readiness, and structural limits.
 func (p *inOrder) step(in isa.Inst, res *Result) {
@@ -76,9 +61,20 @@ func (p *inOrder) step(in isa.Inst, res *Result) {
 		ready = r2
 	}
 	t := maxI64(p.cycle, maxI64(ready, p.fetchReady))
+	if t > p.cycle {
+		// Attribute the issue gap to the binding constraint: a pending
+		// fetch redirect, else operand readiness (which is where memory
+		// latency visible to the pipeline shows up).
+		if p.fetchReady >= ready {
+			res.StallFetch += t - p.cycle
+		} else {
+			res.StallOperand += t - p.cycle
+		}
+	}
 	p.advanceTo(t)
 	if in.Op.IsMem() {
 		for p.lsIssued >= p.cfg.LSUnits {
+			res.StallLS++
 			p.advanceTo(p.cycle + 1)
 		}
 		p.lsIssued++

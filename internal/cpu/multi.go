@@ -62,7 +62,10 @@ func (m MultiResult) Throughput() float64 {
 	return float64(m.TotalInsts()) / float64(m.Cycles)
 }
 
-// addStats sums two stats records field-wise.
+// addStats sums two stats records field-wise. Bus busy cycles aggregate
+// by max rather than sum: cluster cores share their buses (mem.NewCluster),
+// so each member hierarchy reports the same shared-bus totals and summing
+// would multiply them by the core count.
 func addStats(a, b mem.Stats) mem.Stats {
 	a.Loads += b.Loads
 	a.Stores += b.Stores
@@ -74,10 +77,20 @@ func addStats(a, b mem.Stats) mem.Stats {
 	a.Prefetches += b.Prefetches
 	a.StreamBufHits += b.StreamBufHits
 	a.StreamBufPrefetches += b.StreamBufPrefetches
+	a.VictimHits += b.VictimHits
+	a.ScratchpadHits += b.ScratchpadHits
 	a.L1L2TrafficBytes += b.L1L2TrafficBytes
 	a.MemTrafficBytes += b.MemTrafficBytes
 	a.WriteBacksL1 += b.WriteBacksL1
 	a.WriteBacksL2 += b.WriteBacksL2
+	a.L1Evictions += b.L1Evictions
+	a.L2Evictions += b.L2Evictions
+	if b.L1L2BusBusyCycles > a.L1L2BusBusyCycles {
+		a.L1L2BusBusyCycles = b.L1L2BusBusyCycles
+	}
+	if b.MemBusBusyCycles > a.MemBusBusyCycles {
+		a.MemBusBusyCycles = b.MemBusBusyCycles
+	}
 	return a
 }
 
@@ -155,6 +168,17 @@ func RunMulti(cfg Config, hs []*mem.Hierarchy, streams []isa.Stream) (MultiResul
 			out.Cycles = cores[i].res.Cycles
 		}
 		streams[i].Reset()
+	}
+	if reg := cfg.Metrics; reg != nil {
+		// Publish per-core processor counters but the shared hierarchy's
+		// statistics only once.
+		for i := range out.Cores {
+			r := out.Cores[i]
+			r.Mem = mem.Stats{}
+			publishResult(reg, r)
+		}
+		publishMemStats(reg, agg)
+		publishDerivedGauges(reg)
 	}
 	return out, nil
 }

@@ -71,21 +71,6 @@ func (p *outOfOrder) time() int64 { return p.dispatchCycle }
 // finish returns the total cycle count after the last instruction.
 func (p *outOfOrder) finish() int64 { return maxI64(p.lastRetire, p.dispatchCycle+1) }
 
-func runOutOfOrder(cfg Config, h *mem.Hierarchy, s isa.Stream) Result {
-	p := newOutOfOrder(cfg, h)
-	var res Result
-	for {
-		in, ok := s.Next()
-		if !ok {
-			break
-		}
-		res.Insts++
-		p.step(in, &res)
-	}
-	res.Cycles = p.finish()
-	return res
-}
-
 // dispatchAt computes the in-order dispatch time for the next instruction
 // given a lower bound t, consuming one dispatch slot.
 func (p *outOfOrder) dispatchAt(t int64) int64 {
@@ -185,6 +170,16 @@ func (p *outOfOrder) step(in isa.Inst, res *Result) {
 	if isMem {
 		bound = maxI64(bound, p.lsqRetire[p.lsqHead])
 	}
+	if gap := bound - p.dispatchCycle; gap > 0 {
+		// Attribute the dispatch gap to the binding constraint: fetch
+		// redirect if it alone forces the wait, else a full window
+		// (RUU or LSQ slot not yet retired).
+		if p.fetchReady >= bound {
+			res.StallFetch += gap
+		} else {
+			res.StallWindow += gap
+		}
+	}
 	disp := p.dispatchAt(bound)
 
 	// Dataflow: execute when operands are ready, after dispatch.
@@ -193,12 +188,16 @@ func (p *outOfOrder) step(in isa.Inst, res *Result) {
 		ready = r2
 	}
 	exec := maxI64(disp+1, ready)
+	if ready > disp+1 {
+		res.StallOperand += ready - (disp + 1)
+	}
 
 	var complete int64
 	switch in.Op {
 	case isa.Load:
 		res.Loads++
 		issue := p.lsUnit(exec)
+		res.StallLS += issue - exec
 		complete = p.h.Load(in.Addr, issue)
 		if in.Dst != 0 {
 			p.regReady[in.Dst] = complete
@@ -206,6 +205,7 @@ func (p *outOfOrder) step(in isa.Inst, res *Result) {
 	case isa.Store:
 		res.Stores++
 		issue := p.lsUnit(exec)
+		res.StallLS += issue - exec
 		complete = p.h.Store(in.Addr, issue)
 	case isa.Branch:
 		res.Branches++

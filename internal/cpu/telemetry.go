@@ -1,0 +1,121 @@
+// Telemetry bridge for the processor cores: the per-run heartbeat driven
+// from the simulation loop, and the publication of a finished run's
+// counters into a telemetry registry. Both are optional; a run with
+// neither configured pays only a nil check per retired instruction.
+package cpu
+
+import (
+	"memwall/internal/mem"
+	"memwall/internal/telemetry"
+)
+
+// heartbeat throttles Config.Progress callbacks to every `every` retired
+// instructions and converts cumulative totals to deltas.
+type heartbeat struct {
+	fn         func(insts, cycles int64)
+	every      int64
+	next       int64
+	lastInsts  int64
+	lastCycles int64
+}
+
+// newHeartbeat returns nil (no per-instruction work) when no progress
+// callback is configured.
+func newHeartbeat(cfg Config) *heartbeat {
+	if cfg.Progress == nil {
+		return nil
+	}
+	every := cfg.ProgressEvery
+	if every <= 0 {
+		every = 1 << 20
+	}
+	return &heartbeat{fn: cfg.Progress, every: every, next: every}
+}
+
+// beat reports progress at the given cumulative instruction and cycle
+// counts and schedules the next beat.
+func (hb *heartbeat) beat(insts, cycles int64) {
+	if d := cycles - hb.lastCycles; d < 0 {
+		// Engines report their local issue/dispatch clock, which can
+		// trail the previous completion-time estimate; clamp so deltas
+		// stay monotonic.
+		cycles = hb.lastCycles
+	}
+	hb.fn(insts-hb.lastInsts, cycles-hb.lastCycles)
+	hb.lastInsts, hb.lastCycles = insts, cycles
+	hb.next = insts + hb.every
+}
+
+// publishResult folds a finished run's counters into reg (no-op when reg
+// is nil). Counters accumulate across runs, so a command that simulates
+// many benchmark/machine pairs reports totals; the utilization gauges are
+// recomputed from the cumulative counters on every publish.
+func publishResult(reg *telemetry.Registry, r Result) {
+	if reg == nil {
+		return
+	}
+	for _, c := range []struct {
+		name string
+		v    int64
+	}{
+		{"cpu.cycles", r.Cycles},
+		{"cpu.insts_retired", r.Insts},
+		{"cpu.loads", r.Loads},
+		{"cpu.stores", r.Stores},
+		{"cpu.branches", r.Branches},
+		{"cpu.mispredicts", r.Mispredicts},
+		{"cpu.stall_cycles.fetch", r.StallFetch},
+		{"cpu.stall_cycles.operand", r.StallOperand},
+		{"cpu.stall_cycles.ls_unit", r.StallLS},
+		{"cpu.stall_cycles.window", r.StallWindow},
+	} {
+		reg.Counter(c.name).Add(c.v)
+	}
+	publishMemStats(reg, r.Mem)
+	publishDerivedGauges(reg)
+}
+
+// publishDerivedGauges recomputes the ratio gauges (IPC, bus utilization)
+// from the cumulative counters.
+func publishDerivedGauges(reg *telemetry.Registry) {
+	cycles := reg.Counter("cpu.cycles").Value()
+	if cycles <= 0 {
+		return
+	}
+	insts := reg.Counter("cpu.insts_retired").Value()
+	reg.Gauge("cpu.ipc").Set(float64(insts) / float64(cycles))
+	l1l2 := reg.Counter("mem.bus.l1l2_busy_cycles").Value()
+	membus := reg.Counter("mem.bus.mem_busy_cycles").Value()
+	reg.Gauge("mem.bus.l1l2_utilization").Set(float64(l1l2) / float64(cycles))
+	reg.Gauge("mem.bus.mem_utilization").Set(float64(membus) / float64(cycles))
+}
+
+// publishMemStats folds one hierarchy's statistics into reg.
+func publishMemStats(reg *telemetry.Registry, m mem.Stats) {
+	for _, c := range []struct {
+		name string
+		v    int64
+	}{
+		{"mem.loads", m.Loads},
+		{"mem.stores", m.Stores},
+		{"mem.l1.hits", m.L1Hits},
+		{"mem.l1.misses", m.L1Misses},
+		{"mem.l1.merged_misses", m.L1MergedMisses},
+		{"mem.l1.evictions", m.L1Evictions},
+		{"mem.l1.writebacks", m.WriteBacksL1},
+		{"mem.l2.hits", m.L2Hits},
+		{"mem.l2.misses", m.L2Misses},
+		{"mem.l2.evictions", m.L2Evictions},
+		{"mem.l2.writebacks", m.WriteBacksL2},
+		{"mem.prefetches", m.Prefetches},
+		{"mem.stream_buf_hits", m.StreamBufHits},
+		{"mem.victim_hits", m.VictimHits},
+		{"mem.scratchpad_hits", m.ScratchpadHits},
+		{"mem.traffic.l1l2_bytes", m.L1L2TrafficBytes},
+		{"mem.traffic.mem_bytes", m.MemTrafficBytes},
+		{"mem.bus.l1l2_busy_cycles", m.L1L2BusBusyCycles},
+		{"mem.bus.mem_busy_cycles", m.MemBusBusyCycles},
+	} {
+		reg.Counter(c.name).Add(c.v)
+	}
+}

@@ -16,6 +16,8 @@ package mem
 
 import (
 	"fmt"
+
+	"memwall/internal/telemetry"
 )
 
 // Mode selects the memory-system timing model.
@@ -112,6 +114,12 @@ type Config struct {
 	// in Section 6 ("the kinds of analyses performed for effective
 	// register allocation might be readily extended").
 	Scratchpad ScratchpadConfig
+	// Metrics, when non-nil, receives live hot-path instruments that the
+	// plain Stats counters cannot express: the per-level MSHR occupancy
+	// histograms (mem.l1.mshr_occupancy / mem.l2.mshr_occupancy). Leave
+	// nil to disable; the hot paths then skip the occupancy scans
+	// entirely.
+	Metrics *telemetry.Registry
 }
 
 // ScratchpadConfig describes a software-managed on-chip memory region.
@@ -151,6 +159,34 @@ type Stats struct {
 	MemTrafficBytes  int64
 	WriteBacksL1     int64
 	WriteBacksL2     int64
+	// L1Evictions and L2Evictions count valid lines displaced at each
+	// level (clean or dirty; dirty ones also count as write-backs).
+	L1Evictions int64
+	L2Evictions int64
+	// L1L2BusBusyCycles and MemBusBusyCycles accumulate the processor
+	// cycles each finite bus spent transferring data; divided by total
+	// execution cycles they give bus utilization. Always zero in
+	// Perfect/InfiniteBW modes (the buses are infinitely wide there).
+	L1L2BusBusyCycles int64
+	MemBusBusyCycles  int64
+}
+
+// L1L2BusUtilization returns the L1/L2 bus duty cycle over a run of
+// totalCycles processor cycles (0 when totalCycles is 0).
+func (s Stats) L1L2BusUtilization(totalCycles int64) float64 {
+	if totalCycles <= 0 {
+		return 0
+	}
+	return float64(s.L1L2BusBusyCycles) / float64(totalCycles)
+}
+
+// MemBusUtilization returns the memory bus duty cycle over a run of
+// totalCycles processor cycles (0 when totalCycles is 0).
+func (s Stats) MemBusUtilization(totalCycles int64) float64 {
+	if totalCycles <= 0 {
+		return 0
+	}
+	return float64(s.MemBusBusyCycles) / float64(totalCycles)
 }
 
 // bus models a shared, finite-width data path with a next-free time.
@@ -158,6 +194,7 @@ type bus struct {
 	cfg      BusConfig
 	infinite bool
 	nextFree int64
+	busy     int64 // cumulative cycles spent transferring
 }
 
 // transfer schedules moving n bytes at earliest time at. It returns the
@@ -177,6 +214,7 @@ func (b *bus) transfer(at int64, n int) (critical, done int64) {
 	}
 	cycles := int64(beats) * int64(b.cfg.Ratio)
 	b.nextFree = start + cycles
+	b.busy += cycles
 	return start + int64(b.cfg.Ratio), start + cycles
 }
 
@@ -284,14 +322,15 @@ place:
 	return hadVictim, victimDirty, victimBlock
 }
 
-// install allocates a line for addr, returning the evicted victim (valid
-// only if a dirty write-back is needed).
-func (l *level) install(addr uint64, dirty, prefTag bool) (victimDirty bool, victimBlock uint64) {
-	_, vd, vb := l.installVictim(addr, dirty, prefTag)
-	if !vd {
-		return false, 0
+// occupancy counts the MSHRs still busy at time t.
+func (l *level) occupancy(t int64) int {
+	n := 0
+	for _, busy := range l.mshrBusy {
+		if busy > t {
+			n++
+		}
 	}
-	return vd, vb
+	return n
 }
 
 // acquireMSHR reserves a miss register at earliest time t, returning the
@@ -333,6 +372,10 @@ type Hierarchy struct {
 	sbufs  *sbState
 	victim *victimCache
 	stats  Stats
+	// MSHR occupancy histograms, sampled at each miss; nil unless
+	// Config.Metrics is set (the occupancy scan is skipped when nil).
+	mshrOccL1 *telemetry.Histogram
+	mshrOccL2 *telemetry.Histogram
 }
 
 // New constructs a hierarchy for cfg.
@@ -370,6 +413,13 @@ func New(cfg Config) (*Hierarchy, error) {
 	}
 	if cfg.MemBanks > 0 && cfg.Mode == Full {
 		h.banks = make([]int64, cfg.MemBanks)
+	}
+	if reg := cfg.Metrics; reg != nil {
+		// One bucket per possible occupancy value 0..MSHRs.
+		h.mshrOccL1 = reg.Histogram("mem.l1.mshr_occupancy",
+			telemetry.LinearBuckets(0, 1, cfg.L1.MSHRs+1))
+		h.mshrOccL2 = reg.Histogram("mem.l2.mshr_occupancy",
+			telemetry.LinearBuckets(0, 1, cfg.L2.MSHRs+1))
 	}
 	return h, nil
 }
@@ -430,8 +480,25 @@ func NewCluster(cfg Config, cores int) ([]*Hierarchy, error) {
 	return hs, nil
 }
 
-// Stats returns a copy of the accumulated statistics.
-func (h *Hierarchy) Stats() Stats { return h.stats }
+// Stats returns a copy of the accumulated statistics, folding in the bus
+// busy-cycle totals. In a cluster (NewCluster) the buses are shared, so
+// every member hierarchy reports the same bus busy cycles.
+func (h *Hierarchy) Stats() Stats {
+	s := h.stats
+	if h.l1l2 != nil {
+		s.L1L2BusBusyCycles = h.l1l2.busy
+	}
+	if h.mem != nil {
+		s.MemBusBusyCycles = h.mem.busy
+	}
+	return s
+}
+
+// MSHROccupancy returns snapshots of the L1 and L2 MSHR-occupancy
+// histograms (zero snapshots unless Config.Metrics was set).
+func (h *Hierarchy) MSHROccupancy() (l1, l2 telemetry.HistogramSnapshot) {
+	return h.mshrOccL1.Snapshot(), h.mshrOccL2.Snapshot()
+}
 
 // Config returns the hierarchy configuration.
 func (h *Hierarchy) Config() Config { return h.cfg }
@@ -458,17 +525,23 @@ func (h *Hierarchy) l2Access(addr uint64, t int64) (critical, done int64) {
 	}
 	// L2 miss: fetch the L2 block from memory.
 	h.stats.L2Misses++
+	if h.mshrOccL2 != nil {
+		h.mshrOccL2.Observe(float64(l2.occupancy(t + h.cfg.L2.AccessCycles)))
+	}
 	start, slot := l2.acquireMSHR(t + h.cfg.L2.AccessCycles)
 	memData := h.bankAccess(addr, start)
 	critMem, doneMem := h.mem.transfer(memData, h.cfg.L2.BlockSize)
 	h.stats.MemTrafficBytes += int64(h.cfg.L2.BlockSize)
 	l2.mshrBusy[slot] = doneMem
 	l2.outstanding[blk] = fill{ready: critMem, done: doneMem}
-	if vd, _ := l2.install(addr, false, false); vd {
-		// Dirty L2 victim goes to memory over the memory bus.
-		h.mem.transfer(doneMem, h.cfg.L2.BlockSize)
-		h.stats.MemTrafficBytes += int64(h.cfg.L2.BlockSize)
-		h.stats.WriteBacksL2++
+	if had, vd, _ := l2.installVictim(addr, false, false); had {
+		h.stats.L2Evictions++
+		if vd {
+			// Dirty L2 victim goes to memory over the memory bus.
+			h.mem.transfer(doneMem, h.cfg.L2.BlockSize)
+			h.stats.MemTrafficBytes += int64(h.cfg.L2.BlockSize)
+			h.stats.WriteBacksL2++
+		}
 	}
 	// Critical-word-first end to end: forward to L1 as soon as the
 	// critical word reaches L2.
@@ -482,11 +555,17 @@ func (h *Hierarchy) l2Access(addr uint64, t int64) (critical, done int64) {
 // prefetched. It returns the data-ready cycle for the requester.
 func (h *Hierarchy) miss(addr uint64, t int64, dirty, prefTag bool) int64 {
 	l1 := h.l1
+	if h.mshrOccL1 != nil {
+		h.mshrOccL1.Observe(float64(l1.occupancy(t)))
+	}
 	start, slot := l1.acquireMSHR(t)
 	crit, done := h.l2Access(addr, start)
 	l1.mshrBusy[slot] = done
 	l1.outstanding[l1.block(addr)] = fill{ready: crit, done: done}
 	had, vd, vblk := l1.installVictim(addr, dirty, prefTag)
+	if had {
+		h.stats.L1Evictions++
+	}
 	switch {
 	case had && h.victim != nil:
 		// Evictions (clean or dirty) park in the victim cache; its own

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 
 	"memwall/internal/stats"
+	"memwall/internal/telemetry"
 )
 
 // testConfig is a small hierarchy with easily-predicted timing: L1 1KB/32B
@@ -493,5 +494,96 @@ func TestScratchpadCustomLatency(t *testing.T) {
 	h := mustNew(t, cfg)
 	if got := h.Load(0x10, 10); got != 13 {
 		t.Errorf("ready = %d, want 13", got)
+	}
+}
+
+func TestBusBusyCyclesAndEvictions(t *testing.T) {
+	cfg := testConfig(Full, 1)
+	h := mustNew(t, cfg)
+	// Walk far past the L1 and L2 capacities so both levels miss and evict.
+	now := int64(0)
+	for i := 0; i < 1024; i++ {
+		now = h.Load(uint64(i)*32, now)
+	}
+	st := h.Stats()
+	if st.L1L2BusBusyCycles == 0 {
+		t.Error("no L1/L2 bus busy cycles recorded on a missing workload")
+	}
+	if st.MemBusBusyCycles == 0 {
+		t.Error("no memory bus busy cycles recorded on a missing workload")
+	}
+	if st.L1Evictions == 0 || st.L2Evictions == 0 {
+		t.Errorf("no evictions recorded: L1=%d L2=%d", st.L1Evictions, st.L2Evictions)
+	}
+	if u := st.MemBusUtilization(now); u <= 0 || u > 1 {
+		t.Errorf("memory bus utilization %v outside (0, 1]", u)
+	}
+	if st.L1L2BusUtilization(0) != 0 {
+		t.Error("utilization over zero cycles should be 0")
+	}
+}
+
+func TestInfiniteBWBusesStayIdle(t *testing.T) {
+	h := mustNew(t, testConfig(InfiniteBW, 1))
+	now := int64(0)
+	for i := 0; i < 256; i++ {
+		now = h.Load(uint64(i)*32, now)
+	}
+	st := h.Stats()
+	if st.L1L2BusBusyCycles != 0 || st.MemBusBusyCycles != 0 {
+		t.Errorf("infinite-bandwidth buses recorded busy cycles: %d/%d",
+			st.L1L2BusBusyCycles, st.MemBusBusyCycles)
+	}
+}
+
+func TestMSHROccupancyHistogram(t *testing.T) {
+	cfg := testConfig(Full, 4)
+	reg := telemetry.NewRegistry()
+	cfg.Metrics = reg
+	h := mustNew(t, cfg)
+	// Issue independent misses back-to-back at the same cycle so several
+	// fills are outstanding at once.
+	for i := 0; i < 64; i++ {
+		h.Load(uint64(i)*64, 0)
+	}
+	l1, l2 := h.MSHROccupancy()
+	if l1.Count == 0 {
+		t.Fatal("no L1 MSHR occupancy samples")
+	}
+	if got, want := len(l1.Bounds), cfg.L1.MSHRs+1; got != want {
+		t.Errorf("L1 occupancy bounds = %d, want %d (0..MSHRs)", got, want)
+	}
+	if l2.Count == 0 {
+		t.Error("no L2 MSHR occupancy samples")
+	}
+	// With misses issued at cycle 0 against one-at-a-time completion, the
+	// later misses must observe non-zero occupancy.
+	var nonZero int64
+	for i, c := range l1.Counts {
+		if i > 0 {
+			nonZero += c
+		}
+	}
+	if nonZero == 0 {
+		t.Error("all occupancy samples were zero; expected busy MSHRs")
+	}
+	// The registry sees the same histograms under the documented names.
+	snap := reg.Snapshot()
+	if _, ok := snap.Histograms["mem.l1.mshr_occupancy"]; !ok {
+		t.Error("mem.l1.mshr_occupancy missing from registry snapshot")
+	}
+	if _, ok := snap.Histograms["mem.l2.mshr_occupancy"]; !ok {
+		t.Error("mem.l2.mshr_occupancy missing from registry snapshot")
+	}
+}
+
+func TestNoMetricsMeansNoOccupancyScan(t *testing.T) {
+	h := mustNew(t, testConfig(Full, 4))
+	for i := 0; i < 16; i++ {
+		h.Load(uint64(i)*64, 0)
+	}
+	l1, l2 := h.MSHROccupancy()
+	if l1.Count != 0 || l2.Count != 0 {
+		t.Error("occupancy sampled without a metrics registry")
 	}
 }

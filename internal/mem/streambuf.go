@@ -93,11 +93,14 @@ func (h *Hierarchy) streamLookup(addr uint64, t int64) (ready int64, ok bool) {
 		}
 		h.stats.StreamBufHits++
 		// Move the block into L1.
-		if vd, vblk := h.l1.install(addr, false, false); vd {
-			h.l1l2.transfer(ready, h.cfg.L1.BlockSize)
-			h.stats.L1L2TrafficBytes += int64(h.cfg.L1.BlockSize)
-			h.stats.WriteBacksL1++
-			h.writebackToL2(vblk)
+		if had, vd, vblk := h.l1.installVictim(addr, false, false); had {
+			h.stats.L1Evictions++
+			if vd {
+				h.l1l2.transfer(ready, h.cfg.L1.BlockSize)
+				h.stats.L1L2TrafficBytes += int64(h.cfg.L1.BlockSize)
+				h.stats.WriteBacksL1++
+				h.writebackToL2(vblk)
+			}
 		}
 		// Advance the stream: prefetch one block past the current tail.
 		next := b + uint64(len(buf.entries)) + 1

@@ -86,6 +86,7 @@ func (h *Hierarchy) victimLookup(addr uint64, t int64, makeDirty bool) (ready in
 	// Swap: install the recovered block; its displaced L1 line (dirty or
 	// clean) enters the buffer in its place.
 	if had, vd, vblk := h.l1.installVictim(addr, e.dirty || makeDirty, false); had {
+		h.stats.L1Evictions++
 		if old, spill := vc.insert(vblk, vd, t); spill && old.dirty {
 			// The buffer itself evicted dirty data: write it back below.
 			h.l1l2.transfer(t, h.cfg.L1.BlockSize)

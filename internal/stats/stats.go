@@ -38,26 +38,35 @@ func GeoMean(xs []float64) (float64, error) {
 	return math.Exp(sum / float64(len(xs))), nil
 }
 
-// Min returns the smallest element of xs, or +Inf for an empty slice.
-func Min(xs []float64) float64 {
-	m := math.Inf(1)
-	for _, x := range xs {
+// Min returns the smallest element of xs. The second result is false for
+// an empty slice (in which case the value is 0, not an infinity that
+// could leak into downstream arithmetic unnoticed).
+func Min(xs []float64) (float64, bool) {
+	if len(xs) == 0 {
+		return 0, false
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
 		if x < m {
 			m = x
 		}
 	}
-	return m
+	return m, true
 }
 
-// Max returns the largest element of xs, or -Inf for an empty slice.
-func Max(xs []float64) float64 {
-	m := math.Inf(-1)
-	for _, x := range xs {
+// Max returns the largest element of xs. The second result is false for
+// an empty slice.
+func Max(xs []float64) (float64, bool) {
+	if len(xs) == 0 {
+		return 0, false
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
 		if x > m {
 			m = x
 		}
 	}
-	return m
+	return m, true
 }
 
 // LinearFit computes the least-squares line y = a + b*x over the given

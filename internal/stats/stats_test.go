@@ -66,7 +66,12 @@ func TestGeoMeanBetweenMinAndMax(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return gm >= Min(xs)*(1-1e-9) && gm <= Max(xs)*(1+1e-9)
+		lo, okLo := Min(xs)
+		hi, okHi := Max(xs)
+		if !okLo || !okHi {
+			return false
+		}
+		return gm >= lo*(1-1e-9) && gm <= hi*(1+1e-9)
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
@@ -75,14 +80,17 @@ func TestGeoMeanBetweenMinAndMax(t *testing.T) {
 
 func TestMinMax(t *testing.T) {
 	xs := []float64{3, -1, 7, 2}
-	if Min(xs) != -1 {
-		t.Errorf("Min = %v", Min(xs))
+	if v, ok := Min(xs); !ok || v != -1 {
+		t.Errorf("Min = %v, %v", v, ok)
 	}
-	if Max(xs) != 7 {
-		t.Errorf("Max = %v", Max(xs))
+	if v, ok := Max(xs); !ok || v != 7 {
+		t.Errorf("Max = %v, %v", v, ok)
 	}
-	if !math.IsInf(Min(nil), 1) || !math.IsInf(Max(nil), -1) {
-		t.Error("empty Min/Max should be +/-Inf")
+	if v, ok := Min(nil); ok || v != 0 {
+		t.Errorf("Min(nil) = %v, %v; want 0, false", v, ok)
+	}
+	if v, ok := Max(nil); ok || v != 0 {
+		t.Errorf("Max(nil) = %v, %v; want 0, false", v, ok)
 	}
 }
 

@@ -1,0 +1,124 @@
+// Progress heartbeat: a rate-limited stderr line reporting simulation
+// throughput while long runs execute, and pprof wiring for the
+// -cpuprofile/-memprofile flags (runtime/pprof only — no net/http).
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+	"time"
+)
+
+// Progress prints simulated-cycles-per-second heartbeats. Simulator loops
+// call Beat every so often (cheaply: Beat rate-limits itself on wall
+// time); a nil *Progress discards beats. It is safe for concurrent use.
+type Progress struct {
+	mu         sync.Mutex
+	w          io.Writer
+	every      time.Duration
+	start      time.Time
+	last       time.Time
+	lastCycles int64
+	insts      int64
+	cycles     int64
+}
+
+// NewProgress returns a reporter writing to w at most once per interval
+// (default 1s when interval <= 0).
+func NewProgress(w io.Writer, interval time.Duration) *Progress {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	now := time.Now()
+	return &Progress{w: w, every: interval, start: now, last: now}
+}
+
+// Beat accumulates progress (insts and cycles are deltas since the last
+// Beat from this caller's run) and, at most once per interval, prints a
+// heartbeat with cumulative totals and the recent simulated-cycles/sec.
+func (p *Progress) Beat(insts, cycles int64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.insts += insts
+	p.cycles += cycles
+	now := time.Now()
+	if now.Sub(p.last) < p.every {
+		return
+	}
+	dt := now.Sub(p.last).Seconds()
+	rate := float64(p.cycles-p.lastCycles) / dt
+	fmt.Fprintf(p.w, "progress: %s insts, %s sim-cycles, %s sim-cycles/s\n",
+		siCount(p.insts), siCount(p.cycles), siCount(int64(rate)))
+	p.last = now
+	p.lastCycles = p.cycles
+}
+
+// Done prints a final summary line with the whole-run average rate.
+func (p *Progress) Done() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	dt := time.Since(p.start).Seconds()
+	if dt <= 0 {
+		dt = 1e-9
+	}
+	fmt.Fprintf(p.w, "progress: done — %s insts, %s sim-cycles in %.2fs (%s sim-cycles/s)\n",
+		siCount(p.insts), siCount(p.cycles), dt, siCount(int64(float64(p.cycles)/dt)))
+}
+
+// siCount renders a count with a metric suffix (12.3M, 4.5G).
+func siCount(n int64) string {
+	f := float64(n)
+	switch {
+	case f >= 1e9:
+		return fmt.Sprintf("%.2fG", f/1e9)
+	case f >= 1e6:
+		return fmt.Sprintf("%.2fM", f/1e6)
+	case f >= 1e3:
+		return fmt.Sprintf("%.1fk", f/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// StartCPUProfile starts a CPU profile to path and returns a stop
+// function (safe to call once). It uses runtime/pprof directly, so no
+// HTTP endpoint is opened.
+func StartCPUProfile(path string) (stop func(), err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeapProfile writes an allocation profile to path after a final GC,
+// so the numbers reflect live heap rather than collection timing.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,163 @@
+// Span-style phase tracing in Chrome trace-event format.
+//
+// The EventSink writes one JSON trace event per line (JSONL). Perfetto and
+// chrome://tracing both accept this newline-delimited form of the Trace
+// Event Format (their JSON tokenizers scan for brace-balanced objects, so
+// the enclosing array brackets are optional); load the file directly at
+// https://ui.perfetto.dev.
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Event is one Chrome trace event. Timestamps and durations are in
+// microseconds, as the format requires.
+type Event struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// EventSink serialises trace events to a writer, one JSON object per
+// line. It is safe for concurrent use. A nil *EventSink discards events.
+type EventSink struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	c     io.Closer
+	start time.Time
+}
+
+// NewEventSink wraps w. If w is also an io.Closer, Close closes it.
+func NewEventSink(w io.Writer) *EventSink {
+	s := &EventSink{w: bufio.NewWriter(w), start: time.Now()}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// CreateEventSink creates path and returns a sink writing to it.
+func CreateEventSink(path string) (*EventSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewEventSink(f), nil
+}
+
+// now returns microseconds since the sink was opened.
+func (s *EventSink) now() float64 {
+	return float64(time.Since(s.start).Nanoseconds()) / 1e3
+}
+
+// Emit writes one event. No-op on a nil sink.
+func (s *EventSink) Emit(e Event) {
+	if s == nil {
+		return
+	}
+	b := marshalSorted(e)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.w.Write(b)
+	s.w.WriteByte('\n')
+}
+
+// Close flushes buffered events and closes the underlying file, if any.
+func (s *EventSink) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.w.Flush()
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Tracer emits span, instant, and counter events against a sink. A nil
+// *Tracer (or a tracer over a nil sink) discards everything, so tracing
+// calls can stay unconditionally in place.
+type Tracer struct {
+	sink *EventSink
+	pid  int
+	tid  int
+}
+
+// NewTracer returns a tracer writing to sink with pid/tid 1 (the
+// simulator is logically single-process; distinct tids can be minted with
+// WithTID for parallel phases).
+func NewTracer(sink *EventSink) *Tracer {
+	if sink == nil {
+		return nil
+	}
+	return &Tracer{sink: sink, pid: 1, tid: 1}
+}
+
+// WithTID returns a tracer emitting under a different thread id, so
+// concurrent phases render on separate Perfetto tracks.
+func (t *Tracer) WithTID(tid int) *Tracer {
+	if t == nil {
+		return nil
+	}
+	return &Tracer{sink: t.sink, pid: t.pid, tid: tid}
+}
+
+// Span is an open duration event; End closes it. A nil *Span is a no-op.
+type Span struct {
+	t     *Tracer
+	name  string
+	args  map[string]any
+	start float64
+}
+
+// StartSpan opens a span named name. The args map, if non-nil, is
+// attached to the completed event (it is retained until End).
+func (t *Tracer) StartSpan(name string, args map[string]any) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, args: args, start: t.sink.now()}
+}
+
+// End closes the span, emitting a complete ("X") event.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.t
+	t.sink.Emit(Event{
+		Name: s.name, Phase: "X", TS: s.start,
+		Dur: t.sink.now() - s.start, PID: t.pid, TID: t.tid, Args: s.args,
+	})
+}
+
+// Instant emits an instant ("i") event.
+func (t *Tracer) Instant(name string, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.sink.Emit(Event{Name: name, Phase: "i", TS: t.sink.now(), PID: t.pid, TID: t.tid, Args: args})
+}
+
+// Count emits a counter ("C") event, which Perfetto renders as a value
+// track — useful for heartbeat series such as simulated cycles.
+func (t *Tracer) Count(name string, values map[string]any) {
+	if t == nil {
+		return
+	}
+	t.sink.Emit(Event{Name: name, Phase: "C", TS: t.sink.now(), PID: t.pid, TID: t.tid, Args: values})
+}

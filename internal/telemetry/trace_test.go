@@ -1,0 +1,136 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestEventSinkRoundTrip writes spans and instants, then parses the JSONL
+// back and checks the Chrome trace-event fields survive.
+func TestEventSinkRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewEventSink(&buf)
+	tr := NewTracer(sink)
+
+	sp := tr.StartSpan("sim:full", map[string]any{"machine": "F", "bench": "compress"})
+	tr.Instant("checkpoint", nil)
+	sp.End()
+	tr.Count("heartbeat", map[string]any{"cycles": 12345})
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var events []Event
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		events = append(events, e)
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	byPhase := map[string]Event{}
+	for _, e := range events {
+		byPhase[e.Phase] = e
+		if e.PID != 1 || e.TID != 1 {
+			t.Errorf("event %q pid/tid = %d/%d, want 1/1", e.Name, e.PID, e.TID)
+		}
+		if e.TS < 0 {
+			t.Errorf("event %q has negative timestamp", e.Name)
+		}
+	}
+	x, ok := byPhase["X"]
+	if !ok {
+		t.Fatal("no complete (X) event")
+	}
+	if x.Name != "sim:full" || x.Args["machine"] != "F" {
+		t.Errorf("span event = %+v", x)
+	}
+	if x.Dur < 0 {
+		t.Errorf("span duration negative: %v", x.Dur)
+	}
+	if _, ok := byPhase["i"]; !ok {
+		t.Error("no instant event")
+	}
+	c, ok := byPhase["C"]
+	if !ok {
+		t.Fatal("no counter event")
+	}
+	// JSON numbers decode as float64.
+	if c.Args["cycles"] != float64(12345) {
+		t.Errorf("counter args = %v", c.Args)
+	}
+}
+
+// The instant event must land inside the enclosing span's [ts, ts+dur]
+// window, or the trace renders nonsensically in Perfetto.
+func TestSpanBracketsNestedEvents(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewEventSink(&buf)
+	tr := NewTracer(sink)
+	sp := tr.StartSpan("outer", nil)
+	tr.Instant("inner", nil)
+	sp.End()
+	sink.Close()
+
+	var outer, inner Event
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var e Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatal(err)
+		}
+		switch e.Name {
+		case "outer":
+			outer = e
+		case "inner":
+			inner = e
+		}
+	}
+	if inner.TS < outer.TS || inner.TS > outer.TS+outer.Dur {
+		t.Errorf("instant ts %v outside span [%v, %v]", inner.TS, outer.TS, outer.TS+outer.Dur)
+	}
+}
+
+func TestNilTracerIsNoOp(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartSpan("x", nil)
+	sp.End()
+	tr.Instant("y", nil)
+	tr.Count("z", nil)
+	if tr.WithTID(2) != nil {
+		t.Error("nil tracer WithTID non-nil")
+	}
+	if NewTracer(nil) != nil {
+		t.Error("NewTracer(nil) should be nil")
+	}
+	var sink *EventSink
+	sink.Emit(Event{})
+	if err := sink.Close(); err != nil {
+		t.Errorf("nil sink Close: %v", err)
+	}
+}
+
+func TestWithTID(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewEventSink(&buf)
+	tr := NewTracer(sink).WithTID(7)
+	tr.Instant("x", nil)
+	sink.Close()
+	var e Event
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.TID != 7 {
+		t.Errorf("tid = %d, want 7", e.TID)
+	}
+}

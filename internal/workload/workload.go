@@ -185,8 +185,12 @@ type kernel struct {
 	regions   []Region
 }
 
+// BaseSeed is the RNG seed every surrogate generator derives its
+// per-benchmark seed from. Exported so run manifests can record it.
+const BaseSeed uint64 = 0x9E3779B97F4A7C15
+
 func newKernel(name string, scale int) *kernel {
-	var seed uint64 = 0x9E3779B97F4A7C15
+	seed := BaseSeed
 	for _, c := range name {
 		seed = seed*31 + uint64(c)
 	}
