@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench vet fmt figures paper selfcheck profile race clean
+.PHONY: all build test bench vet fmt lint memlint figures paper selfcheck profile race clean
 
 all: build test
 
@@ -17,6 +17,17 @@ bench:
 
 vet:
 	$(GO) vet ./...
+
+# Full static-analysis gate: go vet, staticcheck (skipped when not
+# installed; CI runs it pinned), and the memlint analyzer suite
+# (internal/analysis) enforcing the simulator's determinism, unit-safety,
+# telemetry, and CLI-registry invariants.
+lint: vet memlint
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipping (CI runs it pinned)"; fi
+
+memlint:
+	$(GO) run ./cmd/memlint ./...
 
 fmt:
 	gofmt -l -w .

@@ -15,6 +15,7 @@ import (
 	"memwall/internal/mem"
 	"memwall/internal/mtc"
 	"memwall/internal/trace"
+	"memwall/internal/units"
 	"memwall/internal/workload"
 )
 
@@ -25,7 +26,7 @@ func BenchmarkAblationSectorCache(b *testing.B) {
 	var ratio float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		run := func(sub int) int64 {
+		run := func(sub int) units.Bytes {
 			c, err := cache.New(cache.Config{Size: 64 << 10, BlockSize: 32, Assoc: 1, SubBlockSize: sub})
 			if err != nil {
 				b.Fatal(err)
@@ -44,7 +45,7 @@ func BenchmarkAblationWriteValidate(b *testing.B) {
 	var ratio float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		run := func(alloc cache.AllocPolicy) int64 {
+		run := func(alloc cache.AllocPolicy) units.Bytes {
 			c, err := cache.New(cache.Config{Size: 64 << 10, BlockSize: 32, Assoc: 1,
 				SubBlockSize: 4, Alloc: alloc})
 			if err != nil {
@@ -65,7 +66,7 @@ func BenchmarkAblationCleanMIN(b *testing.B) {
 	var deltaPct float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		run := func(clean bool) int64 {
+		run := func(clean bool) units.Bytes {
 			st, err := mtc.Simulate(mtc.Config{Size: 64 << 10, BlockSize: trace.WordSize,
 				Alloc: mtc.WriteValidate, PreferCleanVictims: clean}, p.MemRefs())
 			if err != nil {

@@ -28,6 +28,7 @@ import (
 	"memwall/internal/core"
 	"memwall/internal/mtc"
 	"memwall/internal/trace"
+	"memwall/internal/units"
 	"memwall/internal/workload"
 )
 
@@ -153,7 +154,7 @@ func run() error {
 	if st.WriteThroughBytes > 0 {
 		fmt.Printf("  wthru bytes   %12d\n", st.WriteThroughBytes)
 	}
-	r := core.TrafficRatio(st.TrafficBytes(), refsN*trace.WordSize)
+	r := core.TrafficRatio(st.TrafficBytes(), units.Words(refsN).Bytes(trace.WordSize))
 	fmt.Printf("  total traffic %12d bytes, traffic ratio R = %.3f\n", st.TrafficBytes(), r)
 
 	if *withMTC {

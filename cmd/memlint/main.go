@@ -1,0 +1,91 @@
+// Command memlint drives the memwall analyzer suite (internal/analysis)
+// over Go packages, multichecker-style. It is the static half of the
+// repo's reproducibility story: `make lint` and CI run it over ./... and
+// fail on any diagnostic.
+//
+// Usage:
+//
+//	memlint [-run name[,name...]] [packages]
+//
+// Packages default to ./... . -run restricts the suite to the named
+// analyzers (detlint, unitlint, telemetrylint, registrylint). Exit
+// status is 1 when diagnostics are reported, 2 on a driver error.
+//
+// Diagnostics can be suppressed at a single site with a
+// //memlint:allow <analyzer> [justification] comment on the same line or
+// the line above; see the internal/analysis package docs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"memwall/internal/analysis"
+	"memwall/internal/analysis/detlint"
+	"memwall/internal/analysis/load"
+	"memwall/internal/analysis/registrylint"
+	"memwall/internal/analysis/telemetrylint"
+	"memwall/internal/analysis/unitlint"
+)
+
+// suite is the full analyzer suite, in reporting-priority order.
+var suite = []*analysis.Analyzer{
+	detlint.Analyzer,
+	unitlint.Analyzer,
+	telemetrylint.Analyzer,
+	registrylint.Analyzer,
+}
+
+func main() {
+	runFlag := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: memlint [-run name[,name...]] [packages]\n\nanalyzers:\n")
+		for _, a := range suite {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	analyzers := suite
+	if *runFlag != "" {
+		byName := map[string]*analysis.Analyzer{}
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*runFlag, ",") {
+			a := byName[strings.TrimSpace(name)]
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "memlint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := load.Packages("", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memlint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(analyzers, pkgs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memlint: %v\n", err)
+		os.Exit(2)
+	}
+	if len(diags) == 0 {
+		return
+	}
+	fset := pkgs[0].Fset
+	for _, d := range diags {
+		fmt.Printf("%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+	}
+	os.Exit(1)
+}

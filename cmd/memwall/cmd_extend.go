@@ -18,6 +18,7 @@ import (
 	"memwall/internal/mtc"
 	"memwall/internal/tablefmt"
 	"memwall/internal/trace"
+	"memwall/internal/units"
 	"memwall/internal/workload"
 )
 
@@ -108,7 +109,7 @@ func runAblate(args []string) error {
 		if err != nil {
 			return err
 		}
-		refBytes := p.RefCount() * trace.WordSize
+		refBytes := units.Words(p.RefCount()).Bytes(trace.WordSize)
 		row := []string{name}
 		for _, cfg := range []cache.Config{
 			{Size: bytes, BlockSize: 32, Assoc: 1},

@@ -11,6 +11,7 @@ import (
 	"memwall/internal/cache"
 	"memwall/internal/core"
 	"memwall/internal/mtc"
+	"memwall/internal/units"
 	"memwall/internal/workload"
 )
 
@@ -48,7 +49,8 @@ func runSelfcheck(args []string) error {
 	// fully-associative LRU cache of the same size (MIN dominance) —
 	// Equation 6's G >= 1 for the matched configuration.
 	c1 := checkResult{name: "MIN dominance (MTC <= fully-assoc LRU, 4B blocks)"}
-	for name, p := range progs {
+	for _, name := range workload.Names() {
+		p := progs[name]
 		for _, size := range []int{4 << 10, 32 << 10} {
 			lru, err := cache.New(cache.Config{Size: size, BlockSize: 4, Assoc: 0})
 			if err != nil {
@@ -71,7 +73,8 @@ func runSelfcheck(args []string) error {
 	// Check 2: cache traffic decreases (weakly) with fully-associative
 	// LRU size — the inclusion property.
 	c2 := checkResult{name: "LRU inclusion (traffic non-increasing with size)"}
-	for name, p := range progs {
+	for _, name := range workload.Names() {
+		p := progs[name]
 		var prev int64 = -1
 		for _, size := range []int{4 << 10, 16 << 10, 64 << 10, 256 << 10} {
 			c, err := cache.New(cache.Config{Size: size, BlockSize: 32, Assoc: 0})
@@ -91,13 +94,14 @@ func runSelfcheck(args []string) error {
 
 	// Check 3: traffic accounting conservation.
 	c3 := checkResult{name: "traffic conservation (fetch+wb bytes match counters)"}
-	for name, p := range progs {
+	for _, name := range workload.Names() {
+		p := progs[name]
 		c, err := cache.New(cache.Config{Size: 16 << 10, BlockSize: 32, Assoc: 2})
 		if err != nil {
 			return err
 		}
 		st := c.Run(p.MemRefs())
-		if st.FetchBytes != st.Fetches*32 || st.Fetches != st.Misses {
+		if st.FetchBytes != units.Blocks(st.Fetches).Bytes(32) || st.Fetches != st.Misses {
 			c3.failed = append(c3.failed, name)
 		} else {
 			c3.passed++
@@ -116,7 +120,7 @@ func runSelfcheck(args []string) error {
 			c4.failed = append(c4.failed, name+": generation differs")
 			continue
 		}
-		run := func(p *workload.Program) int64 {
+		run := func(p *workload.Program) units.Bytes {
 			c, _ := cache.New(cache.Config{Size: 8 << 10, BlockSize: 32, Assoc: 1})
 			return c.Run(p.MemRefs()).TrafficBytes()
 		}

@@ -1,0 +1,109 @@
+// Package analysistest runs memlint analyzers over fixture packages and
+// checks their diagnostics against expectations embedded in the fixtures,
+// mirroring golang.org/x/tools/go/analysis/analysistest. A fixture line
+// that should be flagged carries a trailing comment of the form
+//
+//	code() // want "regexp"
+//
+// (multiple quoted regexps for multiple diagnostics on one line). The
+// harness fails the test for every expectation without a matching
+// diagnostic and every diagnostic without a matching expectation, so
+// fixtures double as both positive and negative cases: a clean file with
+// no want comments asserts the analyzer stays silent.
+//
+// Fixture packages live under the analyzer's testdata/src directory.
+// They are real packages of the module — the go command ignores testdata
+// directories when expanding ./... patterns, so they never enter normal
+// builds, but explicit paths load fine and may import module packages
+// such as memwall/internal/telemetry.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"memwall/internal/analysis"
+	"memwall/internal/analysis/load"
+)
+
+// wantRe extracts the quoted regexps of a want comment.
+var wantRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one want entry at a file line.
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads the fixture packages at the given directories (relative to
+// the test's working directory) and applies the analyzer, comparing
+// diagnostics against // want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dirs ...string) {
+	t.Helper()
+	pkgs, err := load.Packages("", dirs...)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", dirs, err)
+	}
+	diags, err := analysis.Run([]*analysis.Analyzer{a}, pkgs)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	// Collect expectations from the fixtures' comments.
+	want := map[string][]*expectation{} // "file:line" -> expectations
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					idx := strings.Index(c.Text, "// want ")
+					if idx < 0 {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					for _, m := range wantRe.FindAllStringSubmatch(c.Text[idx:], -1) {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", key, m[1], err)
+						}
+						want[key] = append(want[key], &expectation{re: re, raw: m[1]})
+					}
+				}
+			}
+		}
+	}
+
+	// Match diagnostics against expectations.
+	for _, d := range diags {
+		// All packages share the loader's FileSet; use the first.
+		pos := pkgs[0].Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		found := false
+		for _, exp := range want[key] {
+			if !exp.matched && exp.re.MatchString(d.Message) {
+				exp.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	keys := make([]string, 0, len(want))
+	for key := range want {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		for _, exp := range want[key] {
+			if !exp.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, exp.raw)
+			}
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package analysis
+
+import "go/ast"
+
+// WalkStack traverses root in depth-first order, calling fn for every
+// node with the stack of its ancestors (outermost first, not including
+// the node itself). Returning false from fn prunes the subtree.
+func WalkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := fn(n, stack)
+		if descend {
+			stack = append(stack, n)
+		}
+		return descend
+	})
+}
+
+// EnclosingFuncBody returns the body of the innermost function literal or
+// declaration in the stack, or nil.
+func EnclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			return f.Body
+		case *ast.FuncLit:
+			return f.Body
+		}
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+package detlint
+
+import (
+	"testing"
+
+	"memwall/internal/analysis/analysistest"
+)
+
+func TestDetlint(t *testing.T) {
+	old := SimPackages
+	SimPackages = []string{"det"}
+	defer func() { SimPackages = old }()
+	analysistest.Run(t, Analyzer, "./testdata/src/det", "./testdata/src/detclean")
+}

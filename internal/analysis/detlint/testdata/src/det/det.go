@@ -1,0 +1,80 @@
+// Package det is the detlint positive fixture. The test overrides
+// detlint.SimPackages to match it, so it stands in for a simulation
+// package such as memwall/internal/cpu.
+package det
+
+import (
+	"fmt"
+	"math/rand" // want "simulation package imports math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Roll violates the determinism rule via the flagged import above.
+func Roll() int { return rand.Intn(6) }
+
+func Stamp() time.Time {
+	return time.Now() // want "wall-clock read time.Now"
+}
+
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "wall-clock read time.Since"
+}
+
+// Allowed measures the simulator's own speed; the pragma suppresses it.
+func Allowed() time.Time {
+	//memlint:allow detlint measures host speed, not simulated time
+	return time.Now()
+}
+
+func Emit(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "fmt.Println while ranging over a map"
+	}
+}
+
+func Build(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want "b.WriteString while ranging over a map"
+	}
+	return b.String()
+}
+
+func Collect(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to out while ranging over a map"
+	}
+	return out
+}
+
+// Sorted is clean: the accumulated slice is sorted before use.
+func Sorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PerKey is clean: each append lands in a keyed cell, so order cannot
+// matter.
+func PerKey(m map[string][]int, extra map[string]int) {
+	for k, v := range extra {
+		m[k] = append(m[k], v)
+	}
+}
+
+// LoopLocal is clean: the slice lives one iteration.
+func LoopLocal(m map[string]int) int {
+	n := 0
+	for k := range m {
+		tmp := []string{}
+		tmp = append(tmp, k)
+		n += len(tmp)
+	}
+	return n
+}

@@ -1,0 +1,26 @@
+// Package detclean is the detlint negative fixture: a non-simulation
+// package where wall-clock use is legitimate, plus the blessed
+// sorted-keys emission pattern. detlint must stay silent here.
+package detclean
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Stamp is fine: only simulation packages are barred from the host clock.
+func Stamp() time.Time { return time.Now() }
+
+// Emit is the canonical deterministic emission pattern: collect keys,
+// sort, then range the sorted slice.
+func Emit(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}

@@ -1,0 +1,153 @@
+// Package registrylint cross-checks the memwall CLI's command registry
+// against the curated `all` ordering. The binary derives `memwall all`
+// from three sources that must stay consistent by hand: register() calls
+// scattered across cmd_*.go files, the paper-ordered allCuratedOrder
+// slice, and the allExcluded set of deliberately skipped commands. A
+// typo in any of them silently drops a table from `memwall all` — the
+// exact regression the registry was built to prevent.
+//
+// The analyzer activates only in packages that define both a register
+// function and an allCuratedOrder variable (i.e. package main of
+// cmd/memwall, or a fixture shaped like it) and reports:
+//
+//   - a command registered more than once;
+//   - a register() call whose name argument is not a string literal
+//     (names must be statically checkable);
+//   - a curated name that is never registered, or curated twice;
+//   - an excluded name that is never registered (stale exclusion);
+//   - a name both curated and excluded (contradiction: allOrder would
+//     run it anyway).
+package registrylint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+
+	"memwall/internal/analysis"
+)
+
+// Analyzer is the registrylint pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "registrylint",
+	Doc:  "cross-check register() calls against allCuratedOrder and allExcluded so every subcommand stays reachable from `memwall all`",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	var hasRegister bool
+	var curatedLit, excludedLit *ast.CompositeLit
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.Name == "register" && d.Recv == nil {
+					hasRegister = true
+				}
+			case *ast.GenDecl:
+				if d.Tok != token.VAR {
+					continue
+				}
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok || len(vs.Names) != 1 || len(vs.Values) != 1 {
+						continue
+					}
+					cl, ok := vs.Values[0].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					switch vs.Names[0].Name {
+					case "allCuratedOrder":
+						curatedLit = cl
+					case "allExcluded":
+						excludedLit = cl
+					}
+				}
+			}
+		}
+	}
+	if !hasRegister || curatedLit == nil {
+		return nil // not a registry-bearing package
+	}
+
+	// Registered names, in registration order.
+	registered := map[string]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "register" || len(call.Args) < 1 {
+				return true
+			}
+			name, ok := stringLit(call.Args[0])
+			if !ok {
+				pass.Reportf(call.Args[0].Pos(),
+					"register called with a non-literal name: command names must be statically checkable")
+				return true
+			}
+			if registered[name] {
+				pass.Reportf(call.Args[0].Pos(),
+					"command %q registered more than once", name)
+			}
+			registered[name] = true
+			return true
+		})
+	}
+
+	// Curated order: every entry registered, no duplicates.
+	curated := map[string]bool{}
+	for _, elem := range curatedLit.Elts {
+		name, ok := stringLit(elem)
+		if !ok {
+			continue
+		}
+		if curated[name] {
+			pass.Reportf(elem.Pos(), "command %q appears twice in allCuratedOrder", name)
+		}
+		curated[name] = true
+		if !registered[name] {
+			pass.Reportf(elem.Pos(),
+				"curated command %q is not registered: `memwall all` would fail to resolve it", name)
+		}
+	}
+
+	// Exclusions: every key registered, none also curated.
+	if excludedLit != nil {
+		for _, elem := range excludedLit.Elts {
+			kv, ok := elem.(*ast.KeyValueExpr)
+			if !ok {
+				continue
+			}
+			name, ok := stringLit(kv.Key)
+			if !ok {
+				continue
+			}
+			if !registered[name] {
+				pass.Reportf(kv.Key.Pos(),
+					"excluded command %q is not registered: stale entry in allExcluded", name)
+			}
+			if curated[name] {
+				pass.Reportf(kv.Key.Pos(),
+					"command %q is both curated and excluded: allCuratedOrder wins and `memwall all` runs it anyway", name)
+			}
+		}
+	}
+	return nil
+}
+
+// stringLit unquotes a string literal expression.
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}

@@ -1,0 +1,11 @@
+package registrylint
+
+import (
+	"testing"
+
+	"memwall/internal/analysis/analysistest"
+)
+
+func TestRegistrylint(t *testing.T) {
+	analysistest.Run(t, Analyzer, "./testdata/src/reg", "./testdata/src/regclean")
+}

@@ -1,0 +1,39 @@
+// Package reg is the registrylint positive fixture: a miniature command
+// registry shaped like cmd/memwall's, with every inconsistency the
+// analyzer knows about.
+package reg
+
+type command struct {
+	name  string
+	brief string
+	run   func(args []string) error
+}
+
+var commands []command
+
+func register(name, brief string, run func(args []string) error) {
+	commands = append(commands, command{name, brief, run})
+}
+
+var dynamicName = "dyn"
+
+func init() {
+	register("fig1", "first", nil)
+	register("fig1", "duplicate", nil) // want "registered more than once"
+	register("table2", "second", nil)
+	register("export", "exporter", nil)
+	register(dynamicName, "dynamic", nil) // want "non-literal name"
+}
+
+var allCuratedOrder = []string{
+	"fig1",
+	"table2",
+	"table2", // want "appears twice in allCuratedOrder"
+	"ghost",  // want "not registered"
+	"export",
+}
+
+var allExcluded = map[string]bool{
+	"export":  true, // want "both curated and excluded"
+	"phantom": true, // want "not registered"
+}

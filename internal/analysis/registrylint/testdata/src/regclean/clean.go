@@ -1,0 +1,30 @@
+// Package regclean is the registrylint negative fixture: a consistent
+// miniature registry the analyzer must accept in silence.
+package regclean
+
+type command struct {
+	name  string
+	brief string
+	run   func(args []string) error
+}
+
+var commands []command
+
+func register(name, brief string, run func(args []string) error) {
+	commands = append(commands, command{name, brief, run})
+}
+
+func init() {
+	register("fig1", "first", nil)
+	register("table2", "second", nil)
+	register("export", "exporter", nil)
+}
+
+var allCuratedOrder = []string{
+	"fig1",
+	"table2",
+}
+
+var allExcluded = map[string]bool{
+	"export": true,
+}

@@ -1,0 +1,11 @@
+package telemetrylint
+
+import (
+	"testing"
+
+	"memwall/internal/analysis/analysistest"
+)
+
+func TestTelemetrylint(t *testing.T) {
+	analysistest.Run(t, Analyzer, "./testdata/src/tel", "./testdata/src/telclean")
+}

@@ -1,0 +1,41 @@
+// Package unit is the unitlint positive fixture: quantity mixes the
+// analyzer must flag, inferred both from internal/units named types and
+// from identifier suffixes.
+package unit
+
+import "memwall/internal/units"
+
+type stats struct {
+	FetchBytes units.Bytes
+	RefWords   units.Words
+}
+
+// Laundered compares a Bytes to a Words through int64 conversions, which
+// defeats the type system but not the linter.
+func Laundered(s stats) bool {
+	return int64(s.FetchBytes) == int64(s.RefWords) // want "unit mismatch"
+}
+
+// NameMix adds two plain int64s whose names declare different units.
+func NameMix(totalBytes, totalWords int64) int64 {
+	return totalBytes + totalWords // want "unit mismatch"
+}
+
+// CmpTyped compares laundered named types of different units.
+func CmpTyped(b units.Bytes, c units.Cycles) bool {
+	return int64(b) < int64(c) // want "unit mismatch"
+}
+
+// AssignMix assigns a words-suffixed value to a bytes-suffixed variable.
+func AssignMix(nWords int64) {
+	var sinkBytes int64
+	sinkBytes = nWords  // want "unit mismatch"
+	sinkBytes += nWords // want "unit mismatch"
+	_ = sinkBytes
+}
+
+// DefineMix catches := where the new name contradicts the value's unit.
+func DefineMix(b units.Bytes) {
+	outWords := int64(b) // want "unit mismatch"
+	_ = outWords
+}

@@ -1,0 +1,30 @@
+// Package unitclean is the unitlint negative fixture: legitimate
+// quantity arithmetic the analyzer must accept.
+package unitclean
+
+import "memwall/internal/units"
+
+// Homogeneous arithmetic on like units is fine.
+func Total(fetchBytes, wbBytes units.Bytes) units.Bytes {
+	return fetchBytes + wbBytes
+}
+
+// Multiplication and division legitimately change units.
+func PerCycle(totalBytes int64, busCycles int64) float64 {
+	return float64(totalBytes) / float64(busCycles)
+}
+
+// Conversions through internal/units methods are the blessed crossing.
+func Crossing(refWords units.Words) units.Bytes {
+	return refWords.Bytes(4)
+}
+
+// Scaling by a unitless factor keeps the unit and stays silent.
+func Scaled(blockBytes units.Bytes, n int64) units.Bytes {
+	return blockBytes * units.Bytes(n)
+}
+
+// Comparing like-united plain integers by suffix is fine.
+func Ahead(doneInsts, targetInsts int64) bool {
+	return doneInsts >= targetInsts
+}

@@ -1,0 +1,186 @@
+// Package unitlint guards the quantity-unit discipline that
+// internal/units establishes. The paper's arithmetic constantly moves
+// between words, cache blocks, bytes, cycles, and instruction counts
+// (traffic ratios divide bytes by bytes derived from word counts;
+// utilisations divide cycles by cycles), and a silent words-vs-bytes slip
+// changes every derived table by 4x. The named types make direct mixing a
+// compile error; unitlint closes the remaining holes:
+//
+//   - arithmetic or comparison where both operands have a known unit and
+//     the units differ — units are inferred from the internal/units named
+//     types first, then from identifier suffixes (FetchBytes, refWords,
+//     busCycles, ...), and conversions to basic types (int64(x)) keep the
+//     operand's unit, so laundering a Words through int64 before comparing
+//     it to a Bytes is still caught;
+//   - assignments (=, +=, -=, :=) whose two sides carry different units.
+//
+// Multiplication and division are exempt: they legitimately change units
+// (bytes/cycle, words*wordSize). Conversions through the internal/units
+// methods (Words.Bytes, Bytes.Blocks, ...) change the inferred unit and
+// are the blessed way to cross.
+package unitlint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"memwall/internal/analysis"
+)
+
+// Analyzer is the unitlint pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "unitlint",
+	Doc:  "flag arithmetic, comparisons, and assignments mixing differently-united quantities (bytes vs words vs blocks vs cycles vs insts)",
+	Run:  run,
+}
+
+// unitNames are the recognised quantity units, matching both the
+// internal/units type names (lowercased) and identifier suffixes.
+var unitNames = []string{"bytes", "words", "blocks", "cycles", "insts"}
+
+// unitsPkg is the package whose named types carry authoritative units.
+const unitsPkg = "memwall/internal/units"
+
+var flaggedBinary = map[token.Token]bool{
+	token.ADD: true, token.SUB: true,
+	token.LSS: true, token.GTR: true, token.LEQ: true, token.GEQ: true,
+	token.EQL: true, token.NEQ: true,
+}
+
+var flaggedAssign = map[token.Token]bool{
+	token.ASSIGN: true, token.DEFINE: true,
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				if !flaggedBinary[x.Op] {
+					return true
+				}
+				l, r := unitOf(pass, x.X), unitOf(pass, x.Y)
+				if l != "" && r != "" && l != r {
+					pass.Reportf(x.OpPos,
+						"unit mismatch: %s (%s) %s %s (%s); convert explicitly via internal/units",
+						types.ExprString(x.X), l, x.Op, types.ExprString(x.Y), r)
+				}
+			case *ast.AssignStmt:
+				if !flaggedAssign[x.Tok] || len(x.Lhs) != len(x.Rhs) {
+					return true
+				}
+				for i := range x.Lhs {
+					l, r := unitOf(pass, x.Lhs[i]), unitOf(pass, x.Rhs[i])
+					if l != "" && r != "" && l != r {
+						pass.Reportf(x.TokPos,
+							"unit mismatch: %s value assigned to %s (%s)",
+							r, types.ExprString(x.Lhs[i]), l)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// unitOf infers the quantity unit of an expression, or "" if unknown.
+func unitOf(pass *analysis.Pass, e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.ParenExpr:
+		return unitOf(pass, x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.ADD || x.Op == token.SUB {
+			return unitOf(pass, x.X)
+		}
+	case *ast.BinaryExpr:
+		// Addition of like units keeps the unit; anything else (notably
+		// * and /) produces an unknown unit.
+		if x.Op == token.ADD || x.Op == token.SUB {
+			l, r := unitOf(pass, x.X), unitOf(pass, x.Y)
+			if l != "" && l == r {
+				return l
+			}
+		}
+	case *ast.CallExpr:
+		if tv, ok := pass.TypesInfo.Types[x.Fun]; ok && tv.IsType() {
+			// A conversion: to a units type it sets the unit; to a basic
+			// numeric type it launders the representation but keeps the
+			// operand's unit.
+			if u := typeUnit(tv.Type); u != "" {
+				return u
+			}
+			if isNumeric(tv.Type) && len(x.Args) == 1 {
+				return unitOf(pass, x.Args[0])
+			}
+			return ""
+		}
+		// Ordinary call: trust the result type (covers Words.Bytes etc.).
+		if tv, ok := pass.TypesInfo.Types[x]; ok {
+			return typeUnit(tv.Type)
+		}
+	case *ast.Ident:
+		return identUnit(pass, e, x, x.Name)
+	case *ast.SelectorExpr:
+		return identUnit(pass, e, x.Sel, x.Sel.Name)
+	}
+	return ""
+}
+
+// identUnit resolves the unit of a named value: declared units type first,
+// then identifier-suffix inference for plain numeric types.
+func identUnit(pass *analysis.Pass, e ast.Expr, id *ast.Ident, name string) string {
+	var t types.Type
+	if tv, ok := pass.TypesInfo.Types[e]; ok {
+		if !tv.IsValue() {
+			return ""
+		}
+		t = tv.Type
+	} else {
+		// Assignment LHS identifiers are recorded in Uses/Defs only.
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[id]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return ""
+		}
+		t = v.Type()
+	}
+	if u := typeUnit(t); u != "" {
+		return u
+	}
+	if !isNumeric(t) {
+		return ""
+	}
+	lower := strings.ToLower(name)
+	for _, u := range unitNames {
+		if strings.HasSuffix(lower, u) {
+			return u
+		}
+	}
+	return ""
+}
+
+// typeUnit maps an internal/units named type to its unit name.
+func typeUnit(t types.Type) string {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != unitsPkg {
+		return ""
+	}
+	return strings.ToLower(obj.Name())
+}
+
+// isNumeric reports whether t's underlying type is a numeric basic type.
+func isNumeric(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}

@@ -1,0 +1,11 @@
+package unitlint
+
+import (
+	"testing"
+
+	"memwall/internal/analysis/analysistest"
+)
+
+func TestUnitlint(t *testing.T) {
+	analysistest.Run(t, Analyzer, "./testdata/src/unit", "./testdata/src/unitclean")
+}

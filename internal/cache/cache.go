@@ -21,6 +21,7 @@ import (
 	"memwall/internal/stats"
 	"memwall/internal/telemetry"
 	"memwall/internal/trace"
+	"memwall/internal/units"
 )
 
 // ReplPolicy selects the replacement policy within a set.
@@ -201,14 +202,14 @@ type Stats struct {
 	FlushWriteBacks int64
 	// FetchBytes, WriteBackBytes, WriteThroughBytes are the corresponding
 	// byte counts of below-level traffic.
-	FetchBytes        int64
-	WriteBackBytes    int64
-	WriteThroughBytes int64
+	FetchBytes        units.Bytes
+	WriteBackBytes    units.Bytes
+	WriteThroughBytes units.Bytes
 }
 
 // TrafficBytes returns total traffic to the level below (fetch + write-back
 // + write-through), excluding request/address traffic, as in the paper.
-func (s Stats) TrafficBytes() int64 {
+func (s Stats) TrafficBytes() units.Bytes {
 	return s.FetchBytes + s.WriteBackBytes + s.WriteThroughBytes
 }
 
@@ -229,9 +230,9 @@ func (s Stats) Publish(reg *telemetry.Registry, prefix string) {
 		{"misses", s.Misses},
 		{"fetches", s.Fetches},
 		{"writebacks", s.WriteBacks},
-		{"fetch_bytes", s.FetchBytes},
-		{"writeback_bytes", s.WriteBackBytes},
-		{"writethrough_bytes", s.WriteThroughBytes},
+		{"fetch_bytes", int64(s.FetchBytes)},
+		{"writeback_bytes", int64(s.WriteBackBytes)},
+		{"writethrough_bytes", int64(s.WriteThroughBytes)},
 	} {
 		reg.Counter(prefix + "." + c.name).Add(c.v)
 	}
@@ -368,7 +369,7 @@ func (c *Cache) victim(set []line) int {
 func (c *Cache) evict(set []line, w int, flush bool) {
 	if set[w].present() && set[w].dirty != 0 {
 		c.stats.WriteBacks++
-		c.stats.WriteBackBytes += int64(popcount(set[w].dirty)) * int64(c.subSize)
+		c.stats.WriteBackBytes += units.Blocks(popcount(set[w].dirty)).Bytes(c.subSize)
 		if flush {
 			c.stats.FlushWriteBacks++
 		}
@@ -394,7 +395,7 @@ func (c *Cache) fill(set []line, w int, tag uint64, fetchMask, validMask, dirtyM
 	set[w] = line{tag: tag, valid: validMask, dirty: dirtyMask, lastUse: c.now, allocTime: c.now}
 	if fetchMask != 0 {
 		c.stats.Fetches++
-		c.stats.FetchBytes += int64(popcount(fetchMask)) * int64(c.subSize)
+		c.stats.FetchBytes += units.Blocks(popcount(fetchMask)).Bytes(c.subSize)
 	}
 }
 
@@ -501,7 +502,7 @@ func (c *Cache) allocMask(bit uint64) uint64 {
 func (c *Cache) fetchSub(l *line, bit uint64) {
 	l.valid |= bit
 	c.stats.Fetches++
-	c.stats.FetchBytes += int64(c.subSize)
+	c.stats.FetchBytes += units.Bytes(c.subSize)
 }
 
 // Run replays an entire stream through the cache, flushes it, and resets

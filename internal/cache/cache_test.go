@@ -7,6 +7,7 @@ import (
 	"memwall/internal/stats"
 	"memwall/internal/telemetry"
 	"memwall/internal/trace"
+	"memwall/internal/units"
 )
 
 func mustNew(t *testing.T, cfg Config) *Cache {
@@ -280,8 +281,8 @@ func TestTrafficAccountingConservation(t *testing.T) {
 		}
 		c.Flush()
 		st := c.Stats()
-		return st.FetchBytes == st.Fetches*32 &&
-			st.WriteBackBytes == st.WriteBacks*32 &&
+		return st.FetchBytes == units.Blocks(st.Fetches).Bytes(32) &&
+			st.WriteBackBytes == units.Blocks(st.WriteBacks).Bytes(32) &&
 			st.Fetches == st.Misses &&
 			st.Accesses == int64(n)
 	}
@@ -401,7 +402,7 @@ func TestStatsPublish(t *testing.T) {
 	if snap.Counters["cache.t.accesses"] != st.Accesses {
 		t.Errorf("accesses = %d, want %d", snap.Counters["cache.t.accesses"], st.Accesses)
 	}
-	if snap.Counters["cache.t.fetch_bytes"] != st.FetchBytes {
+	if snap.Counters["cache.t.fetch_bytes"] != int64(st.FetchBytes) {
 		t.Errorf("fetch_bytes = %d, want %d", snap.Counters["cache.t.fetch_bytes"], st.FetchBytes)
 	}
 	if snap.Gauges["cache.t.miss_rate"] != st.MissRate() {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"memwall/internal/trace"
+	"memwall/internal/units"
 )
 
 // Hierarchy is a stack of trace-driven caches, level 0 closest to the
@@ -74,7 +75,7 @@ func (h *Hierarchy) access(levelIdx int, r trace.Ref) {
 	// covering the fetched bytes.
 	if db := after.FetchBytes - before.FetchBytes; db > 0 {
 		base := r.Addr &^ uint64(c.cfg.BlockSize-1)
-		for off := int64(0); off < db; off += trace.WordSize {
+		for off := units.Bytes(0); off < db; off += trace.WordSize {
 			h.access(levelIdx+1, trace.Ref{Kind: trace.Read, Addr: base + uint64(off)})
 		}
 	}
@@ -85,7 +86,7 @@ func (h *Hierarchy) access(levelIdx int, r trace.Ref) {
 	// affects the lower level's locality slightly).
 	if db := after.WriteBackBytes - before.WriteBackBytes; db > 0 {
 		base := r.Addr &^ uint64(c.cfg.BlockSize-1)
-		for off := int64(0); off < db; off += trace.WordSize {
+		for off := units.Bytes(0); off < db; off += trace.WordSize {
 			h.access(levelIdx+1, trace.Ref{Kind: trace.Write, Addr: base + uint64(off)})
 		}
 	}
@@ -124,7 +125,7 @@ func (h *Hierarchy) FlushAll() {
 			break
 		}
 		if db := after.WriteBackBytes - before.WriteBackBytes; db > 0 {
-			for off := int64(0); off < db; off += trace.WordSize {
+			for off := units.Bytes(0); off < db; off += trace.WordSize {
 				h.access(i+1, trace.Ref{Kind: trace.Write, Addr: uint64(off)})
 			}
 		}
@@ -135,11 +136,11 @@ func (h *Hierarchy) FlushAll() {
 // R_0 = D_0 / (refs x word), R_i = D_i / D_{i-1} (Equation 4).
 func (h *Hierarchy) Ratios(refs int64) []float64 {
 	out := make([]float64, len(h.levels))
-	above := refs * trace.WordSize
+	above := units.Words(refs).Bytes(trace.WordSize)
 	for i, c := range h.levels {
 		d := c.Stats().TrafficBytes()
 		if above > 0 {
-			out[i] = float64(d) / float64(above)
+			out[i] = units.Ratio(d, above)
 		}
 		above = d
 	}

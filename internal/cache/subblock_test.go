@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"memwall/internal/stats"
+	"memwall/internal/units"
 )
 
 func TestSubBlockValidate(t *testing.T) {
@@ -62,7 +63,7 @@ func TestSectorCacheSavesTrafficOnSparseProbes(t *testing.T) {
 	// Random single-word probes: the 4B-sector cache moves far fewer
 	// bytes than a conventional 32B-block cache of the same size — the
 	// paper's flexible-transfer-size argument.
-	mk := func(sub int) int64 {
+	mk := func(sub int) units.Bytes {
 		c, err := New(Config{Size: 8 << 10, BlockSize: 32, Assoc: 1, SubBlockSize: sub})
 		if err != nil {
 			t.Fatal(err)
@@ -100,7 +101,7 @@ func TestWriteValidateCacheAvoidsFetch(t *testing.T) {
 func TestWriteValidateBeatsWriteAllocateOnWriteOnce(t *testing.T) {
 	// Scattered write-once stores (eqntott's output pattern): WV moves
 	// half the bytes of WA or better.
-	mk := func(alloc AllocPolicy, sub int) int64 {
+	mk := func(alloc AllocPolicy, sub int) units.Bytes {
 		c, err := New(Config{Size: 8 << 10, BlockSize: 32, Assoc: 1, Alloc: alloc, SubBlockSize: sub})
 		if err != nil {
 			t.Fatal(err)

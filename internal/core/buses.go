@@ -17,6 +17,7 @@ import (
 	"memwall/internal/cpu"
 	"memwall/internal/isa"
 	"memwall/internal/mem"
+	"memwall/internal/units"
 )
 
 // BusDecomposition splits a machine's bandwidth stall time by bus.
@@ -24,8 +25,8 @@ type BusDecomposition struct {
 	Decomposition
 	// TMemInf and TL12Inf are execution times with the memory bus or the
 	// L1/L2 bus (respectively) infinitely wide.
-	TMemInf int64
-	TL12Inf int64
+	TMemInf units.Cycles
+	TL12Inf units.Cycles
 }
 
 // FBMemBus returns the bandwidth-stall fraction attributable to the
@@ -52,7 +53,7 @@ func DecomposeBuses(m Machine, s isa.Stream) (BusDecomposition, error) {
 	}
 	out := BusDecomposition{Decomposition: base.Decomposition}
 
-	run := func(mut func(*mem.Config)) (int64, error) {
+	run := func(mut func(*mem.Config)) (units.Cycles, error) {
 		cfg := m.Mem
 		cfg.Mode = mem.Full
 		mut(&cfg)
@@ -64,7 +65,7 @@ func DecomposeBuses(m Machine, s isa.Stream) (BusDecomposition, error) {
 		if err != nil {
 			return 0, err
 		}
-		return res.Cycles, nil
+		return units.Cycles(res.Cycles), nil
 	}
 	if out.TMemInf, err = run(func(c *mem.Config) { c.InfiniteMemBus = true }); err != nil {
 		return out, err

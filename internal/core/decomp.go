@@ -19,6 +19,7 @@ import (
 	"memwall/internal/isa"
 	"memwall/internal/mem"
 	"memwall/internal/telemetry"
+	"memwall/internal/units"
 )
 
 // Decomposition is the three-way split of a program's execution time.
@@ -27,13 +28,13 @@ type Decomposition struct {
 	// TP is execution time with a perfect memory system (every access
 	// one cycle): pure processing time, including idle cycles caused by
 	// limited ILP.
-	TP int64
+	TP units.Cycles
 	// TI is execution time with infinitely-wide paths between all levels
 	// of the hierarchy: processing plus intrinsic, contention-free
 	// memory latency.
-	TI int64
+	TI units.Cycles
 	// T is execution time with the full memory system.
-	T int64
+	T units.Cycles
 }
 
 // FP returns the fraction of time spent processing (Equation 1).
@@ -47,11 +48,8 @@ func (d Decomposition) FL() float64 { return ratio(d.TI-d.TP, d.T) }
 // contention (Equation 3: (T - T_I) / T).
 func (d Decomposition) FB() float64 { return ratio(d.T-d.TI, d.T) }
 
-func ratio(num, den int64) float64 {
-	if den == 0 {
-		return 0
-	}
-	return float64(num) / float64(den)
+func ratio(num, den units.Cycles) float64 {
+	return units.Ratio(num, den)
 }
 
 // Validate checks the invariants the decomposition must satisfy: the
@@ -144,9 +142,10 @@ func Decompose(m Machine, s isa.Stream) (DecomposeResult, error) {
 		}
 		sp := m.Obs.Tracer.StartSpan("sim:"+mode.String(),
 			map[string]any{"machine": m.Name})
+		//memlint:allow detlint phase wall time measures the simulator itself, not simulated time
 		start := time.Now()
 		res, err := cpu.Run(ccfg, h, s)
-		wall := time.Since(start)
+		wall := time.Since(start) //memlint:allow detlint simulator throughput, feeds `memwall profile`
 		sp.End()
 		return res, wall, err
 	}
@@ -163,9 +162,9 @@ func Decompose(m Machine, s isa.Stream) (DecomposeResult, error) {
 		return out, err
 	}
 	out.Wall = PhaseWall{Perfect: wallP, InfiniteBW: wallI, Full: wallF}
-	out.TP = perfect.Cycles
-	out.TI = infinite.Cycles
-	out.T = full.Cycles
+	out.TP = units.Cycles(perfect.Cycles)
+	out.TI = units.Cycles(infinite.Cycles)
+	out.T = units.Cycles(full.Cycles)
 	out.Full = full
 	// The infinitely-wide hierarchy can in rare corner cases finish a
 	// couple of cycles "late" relative to the full system because cache

@@ -8,6 +8,7 @@ import (
 	"memwall/internal/cpu"
 	"memwall/internal/mem"
 	"memwall/internal/telemetry"
+	"memwall/internal/units"
 	"memwall/internal/workload"
 )
 
@@ -176,7 +177,7 @@ func Figure3Observed(suite workload.Suite, progs []*workload.Program, cacheScale
 	}
 	var out []BenchmarkDecomposition
 	for _, p := range progs {
-		var baseTP int64
+		var baseTP units.Cycles
 		stream := p.Stream()
 		benchSpan := obs.Tracer.StartSpan("bench:"+p.Name,
 			map[string]any{"suite": suite.String(), "refs": p.RefCount()})

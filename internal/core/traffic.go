@@ -8,16 +8,14 @@ import (
 	"memwall/internal/cache"
 	"memwall/internal/mtc"
 	"memwall/internal/trace"
+	"memwall/internal/units"
 )
 
 // TrafficRatio computes R_i = D_i / D_{i-1} (Equation 4): the traffic
 // below a cache divided by the traffic above it. For a first-level cache
 // the traffic above is refs × word size.
-func TrafficRatio(below, above int64) float64 {
-	if above == 0 {
-		return 0
-	}
-	return float64(below) / float64(above)
+func TrafficRatio(below, above units.Bytes) float64 {
+	return units.Ratio(below, above)
 }
 
 // RatioResult is one cache traffic-ratio measurement.
@@ -47,7 +45,7 @@ func MeasureRatio(cfg cache.Config, s trace.Stream, refs int64, dataSetBytes int
 		Config:      cfg,
 		Stats:       st,
 		Refs:        refs,
-		R:           TrafficRatio(st.TrafficBytes(), refs*trace.WordSize),
+		R:           TrafficRatio(st.TrafficBytes(), units.Words(refs).Bytes(trace.WordSize)),
 		FitsDataSet: dataSetBytes > 0 && int64(cfg.Size) >= dataSetBytes,
 	}, nil
 }
@@ -71,11 +69,8 @@ func EffectivePinBandwidth(pinBW float64, ratios ...float64) float64 {
 // size. G >= 1 for a true MTC; values below 1 would indicate the
 // comparison cache beat the bound (possible only through accounting
 // differences, and reported as-is).
-func Inefficiency(cacheTraffic, mtcTraffic int64) float64 {
-	if mtcTraffic == 0 {
-		return 0
-	}
-	return float64(cacheTraffic) / float64(mtcTraffic)
+func Inefficiency(cacheTraffic, mtcTraffic units.Bytes) float64 {
+	return units.Ratio(cacheTraffic, mtcTraffic)
 }
 
 // OptimalEffectivePinBandwidth computes OE_pin = B_pin * Π G_i / Π R_i
@@ -100,8 +95,8 @@ func OptimalEffectivePinBandwidth(pinBW float64, gs, rs []float64) float64 {
 type InefficiencyResult struct {
 	CacheConfig  cache.Config
 	MTCConfig    mtc.Config
-	CacheTraffic int64
-	MTCTraffic   int64
+	CacheTraffic units.Bytes
+	MTCTraffic   units.Bytes
 	G            float64
 	FitsDataSet  bool
 }
@@ -150,7 +145,7 @@ type FactorConfig struct {
 }
 
 // traffic runs the configured simulation and returns total traffic bytes.
-func (fc FactorConfig) traffic(s trace.Stream) (int64, error) {
+func (fc FactorConfig) traffic(s trace.Stream) (units.Bytes, error) {
 	switch {
 	case fc.Cache != nil:
 		c, err := cache.New(*fc.Cache)
@@ -173,8 +168,8 @@ func (fc FactorConfig) traffic(s trace.Stream) (int64, error) {
 // the change in G = D_exp / D_MTCref when the factor is toggled.
 type FactorResult struct {
 	Spec     FactorSpec
-	Traffic1 int64
-	Traffic2 int64
+	Traffic1 units.Bytes
+	Traffic2 units.Bytes
 	// DeltaG is G(exp1) − G(exp2) relative to the reference MTC: how
 	// much traffic inefficiency the factor accounts for (Table 9).
 	DeltaG float64
@@ -221,7 +216,7 @@ func Factors(size int) []FactorSpec {
 // MeasureFactor runs one factor pair over a trace. The reference traffic
 // refMTC (the canonical write-validate MTC's traffic) converts the two
 // absolute traffic values into the change of G that the factor explains.
-func MeasureFactor(spec FactorSpec, s trace.Stream, refMTC int64) (FactorResult, error) {
+func MeasureFactor(spec FactorSpec, s trace.Stream, refMTC units.Bytes) (FactorResult, error) {
 	t1, err := spec.Exp1.traffic(s)
 	if err != nil {
 		return FactorResult{}, fmt.Errorf("core: factor %s exp1: %w", spec.Name, err)

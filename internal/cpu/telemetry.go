@@ -111,10 +111,10 @@ func publishMemStats(reg *telemetry.Registry, m mem.Stats) {
 		{"mem.stream_buf_hits", m.StreamBufHits},
 		{"mem.victim_hits", m.VictimHits},
 		{"mem.scratchpad_hits", m.ScratchpadHits},
-		{"mem.traffic.l1l2_bytes", m.L1L2TrafficBytes},
-		{"mem.traffic.mem_bytes", m.MemTrafficBytes},
-		{"mem.bus.l1l2_busy_cycles", m.L1L2BusBusyCycles},
-		{"mem.bus.mem_busy_cycles", m.MemBusBusyCycles},
+		{"mem.traffic.l1l2_bytes", int64(m.L1L2TrafficBytes)},
+		{"mem.traffic.mem_bytes", int64(m.MemTrafficBytes)},
+		{"mem.bus.l1l2_busy_cycles", int64(m.L1L2BusBusyCycles)},
+		{"mem.bus.mem_busy_cycles", int64(m.MemBusBusyCycles)},
 	} {
 		reg.Counter(c.name).Add(c.v)
 	}

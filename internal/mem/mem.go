@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"memwall/internal/telemetry"
+	"memwall/internal/units"
 )
 
 // Mode selects the memory-system timing model.
@@ -155,8 +156,8 @@ type Stats struct {
 	// scratchpad region.
 	ScratchpadHits int64
 	// Traffic below each level, in bytes (fills + write-backs).
-	L1L2TrafficBytes int64
-	MemTrafficBytes  int64
+	L1L2TrafficBytes units.Bytes
+	MemTrafficBytes  units.Bytes
 	WriteBacksL1     int64
 	WriteBacksL2     int64
 	// L1Evictions and L2Evictions count valid lines displaced at each
@@ -167,26 +168,26 @@ type Stats struct {
 	// cycles each finite bus spent transferring data; divided by total
 	// execution cycles they give bus utilization. Always zero in
 	// Perfect/InfiniteBW modes (the buses are infinitely wide there).
-	L1L2BusBusyCycles int64
-	MemBusBusyCycles  int64
+	L1L2BusBusyCycles units.Cycles
+	MemBusBusyCycles  units.Cycles
 }
 
 // L1L2BusUtilization returns the L1/L2 bus duty cycle over a run of
 // totalCycles processor cycles (0 when totalCycles is 0).
-func (s Stats) L1L2BusUtilization(totalCycles int64) float64 {
+func (s Stats) L1L2BusUtilization(totalCycles units.Cycles) float64 {
 	if totalCycles <= 0 {
 		return 0
 	}
-	return float64(s.L1L2BusBusyCycles) / float64(totalCycles)
+	return units.Ratio(s.L1L2BusBusyCycles, totalCycles)
 }
 
 // MemBusUtilization returns the memory bus duty cycle over a run of
 // totalCycles processor cycles (0 when totalCycles is 0).
-func (s Stats) MemBusUtilization(totalCycles int64) float64 {
+func (s Stats) MemBusUtilization(totalCycles units.Cycles) float64 {
 	if totalCycles <= 0 {
 		return 0
 	}
-	return float64(s.MemBusBusyCycles) / float64(totalCycles)
+	return units.Ratio(s.MemBusBusyCycles, totalCycles)
 }
 
 // bus models a shared, finite-width data path with a next-free time.
@@ -486,10 +487,10 @@ func NewCluster(cfg Config, cores int) ([]*Hierarchy, error) {
 func (h *Hierarchy) Stats() Stats {
 	s := h.stats
 	if h.l1l2 != nil {
-		s.L1L2BusBusyCycles = h.l1l2.busy
+		s.L1L2BusBusyCycles = units.Cycles(h.l1l2.busy)
 	}
 	if h.mem != nil {
-		s.MemBusBusyCycles = h.mem.busy
+		s.MemBusBusyCycles = units.Cycles(h.mem.busy)
 	}
 	return s
 }
@@ -520,7 +521,7 @@ func (h *Hierarchy) l2Access(addr uint64, t int64) (critical, done int64) {
 			h.stats.L2Hits++
 		}
 		c, d := h.l1l2.transfer(dataAt, h.cfg.L1.BlockSize)
-		h.stats.L1L2TrafficBytes += int64(h.cfg.L1.BlockSize)
+		h.stats.L1L2TrafficBytes += units.Bytes(h.cfg.L1.BlockSize)
 		return c, d
 	}
 	// L2 miss: fetch the L2 block from memory.
@@ -531,7 +532,7 @@ func (h *Hierarchy) l2Access(addr uint64, t int64) (critical, done int64) {
 	start, slot := l2.acquireMSHR(t + h.cfg.L2.AccessCycles)
 	memData := h.bankAccess(addr, start)
 	critMem, doneMem := h.mem.transfer(memData, h.cfg.L2.BlockSize)
-	h.stats.MemTrafficBytes += int64(h.cfg.L2.BlockSize)
+	h.stats.MemTrafficBytes += units.Bytes(h.cfg.L2.BlockSize)
 	l2.mshrBusy[slot] = doneMem
 	l2.outstanding[blk] = fill{ready: critMem, done: doneMem}
 	if had, vd, _ := l2.installVictim(addr, false, false); had {
@@ -539,14 +540,14 @@ func (h *Hierarchy) l2Access(addr uint64, t int64) (critical, done int64) {
 		if vd {
 			// Dirty L2 victim goes to memory over the memory bus.
 			h.mem.transfer(doneMem, h.cfg.L2.BlockSize)
-			h.stats.MemTrafficBytes += int64(h.cfg.L2.BlockSize)
+			h.stats.MemTrafficBytes += units.Bytes(h.cfg.L2.BlockSize)
 			h.stats.WriteBacksL2++
 		}
 	}
 	// Critical-word-first end to end: forward to L1 as soon as the
 	// critical word reaches L2.
 	c, d := h.l1l2.transfer(critMem, h.cfg.L1.BlockSize)
-	h.stats.L1L2TrafficBytes += int64(h.cfg.L1.BlockSize)
+	h.stats.L1L2TrafficBytes += units.Bytes(h.cfg.L1.BlockSize)
 	return c, d
 }
 
@@ -574,7 +575,7 @@ func (h *Hierarchy) miss(addr uint64, t int64, dirty, prefTag bool) int64 {
 	case vd:
 		// Dirty L1 victim is written back to L2 over the L1/L2 bus.
 		h.l1l2.transfer(done, h.cfg.L1.BlockSize)
-		h.stats.L1L2TrafficBytes += int64(h.cfg.L1.BlockSize)
+		h.stats.L1L2TrafficBytes += units.Bytes(h.cfg.L1.BlockSize)
 		h.stats.WriteBacksL1++
 		// The victim dirties L2 (write-back inclusive-ish handling).
 		h.writebackToL2(vblk)
@@ -591,7 +592,7 @@ func (h *Hierarchy) writebackToL2(l1Block uint64) {
 		return
 	}
 	h.mem.transfer(h.mem.nextFree, h.cfg.L1.BlockSize)
-	h.stats.MemTrafficBytes += int64(h.cfg.L1.BlockSize)
+	h.stats.MemTrafficBytes += units.Bytes(h.cfg.L1.BlockSize)
 }
 
 // prefetch issues a tagged prefetch of the block after addr if it is not

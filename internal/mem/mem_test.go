@@ -6,6 +6,7 @@ import (
 
 	"memwall/internal/stats"
 	"memwall/internal/telemetry"
+	"memwall/internal/units"
 )
 
 // testConfig is a small hierarchy with easily-predicted timing: L1 1KB/32B
@@ -515,7 +516,7 @@ func TestBusBusyCyclesAndEvictions(t *testing.T) {
 	if st.L1Evictions == 0 || st.L2Evictions == 0 {
 		t.Errorf("no evictions recorded: L1=%d L2=%d", st.L1Evictions, st.L2Evictions)
 	}
-	if u := st.MemBusUtilization(now); u <= 0 || u > 1 {
+	if u := st.MemBusUtilization(units.Cycles(now)); u <= 0 || u > 1 {
 		t.Errorf("memory bus utilization %v outside (0, 1]", u)
 	}
 	if st.L1L2BusUtilization(0) != 0 {

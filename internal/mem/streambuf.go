@@ -13,6 +13,8 @@
 // other fill, so useless prefetches surface as bandwidth stalls.
 package mem
 
+import "memwall/internal/units"
+
 // StreamBufferConfig enables stream buffers on a hierarchy.
 type StreamBufferConfig struct {
 	// Buffers is the number of independent stream buffers (0 disables).
@@ -97,7 +99,7 @@ func (h *Hierarchy) streamLookup(addr uint64, t int64) (ready int64, ok bool) {
 			h.stats.L1Evictions++
 			if vd {
 				h.l1l2.transfer(ready, h.cfg.L1.BlockSize)
-				h.stats.L1L2TrafficBytes += int64(h.cfg.L1.BlockSize)
+				h.stats.L1L2TrafficBytes += units.Bytes(h.cfg.L1.BlockSize)
 				h.stats.WriteBacksL1++
 				h.writebackToL2(vblk)
 			}

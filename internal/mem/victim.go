@@ -6,6 +6,8 @@
 // near-hits, and therefore reducing both latency and bandwidth demand.
 package mem
 
+import "memwall/internal/units"
+
 // VictimCacheConfig enables a victim cache on a hierarchy.
 type VictimCacheConfig struct {
 	// Entries is the number of victim blocks held (0 disables). Jouppi's
@@ -90,7 +92,7 @@ func (h *Hierarchy) victimLookup(addr uint64, t int64, makeDirty bool) (ready in
 		if old, spill := vc.insert(vblk, vd, t); spill && old.dirty {
 			// The buffer itself evicted dirty data: write it back below.
 			h.l1l2.transfer(t, h.cfg.L1.BlockSize)
-			h.stats.L1L2TrafficBytes += int64(h.cfg.L1.BlockSize)
+			h.stats.L1L2TrafficBytes += units.Bytes(h.cfg.L1.BlockSize)
 			h.stats.WriteBacksL1++
 			h.writebackToL2(old.block)
 		}
@@ -104,7 +106,7 @@ func (h *Hierarchy) victimInsert(block uint64, dirty bool, t int64) {
 	vc := h.victim
 	if old, spill := vc.insert(block, dirty, t); spill && old.dirty {
 		h.l1l2.transfer(t, h.cfg.L1.BlockSize)
-		h.stats.L1L2TrafficBytes += int64(h.cfg.L1.BlockSize)
+		h.stats.L1L2TrafficBytes += units.Bytes(h.cfg.L1.BlockSize)
 		h.stats.WriteBacksL1++
 		h.writebackToL2(old.block)
 	}

@@ -31,6 +31,7 @@ import (
 	"math"
 
 	"memwall/internal/trace"
+	"memwall/internal/units"
 )
 
 // AllocPolicy selects store-miss behaviour.
@@ -116,17 +117,17 @@ type Stats struct {
 	Misses     int64
 	Bypasses   int64 // misses served without allocation
 	Fetches    int64 // block fills from below
-	FetchBytes int64
+	FetchBytes units.Bytes
 	// BypassBytes is word traffic for bypassed reads (data still crosses
 	// the boundary) and bypassed writes (stored word goes below).
-	BypassBytes int64
+	BypassBytes units.Bytes
 	// WriteBackBytes counts dirty evictions plus the end-of-run flush.
-	WriteBackBytes  int64
+	WriteBackBytes  units.Bytes
 	FlushWriteBacks int64
 }
 
 // TrafficBytes returns total traffic below the MTC.
-func (s Stats) TrafficBytes() int64 {
+func (s Stats) TrafficBytes() units.Bytes {
 	return s.FetchBytes + s.BypassBytes + s.WriteBackBytes
 }
 
@@ -292,7 +293,7 @@ func (m *MTC) nextUseAfter(b uint64, t int64) int64 {
 
 func (m *MTC) evict(e *entry, flush bool) {
 	if e.dirty {
-		m.stats.WriteBackBytes += int64(m.cfg.BlockSize)
+		m.stats.WriteBackBytes += units.Bytes(m.cfg.BlockSize)
 		if flush {
 			m.stats.FlushWriteBacks++
 		}
@@ -309,7 +310,7 @@ func (m *MTC) allocate(b uint64, nextUse int64, dirty bool, fetch bool) {
 	m.heapPush(e)
 	if fetch {
 		m.stats.Fetches++
-		m.stats.FetchBytes += int64(m.cfg.BlockSize)
+		m.stats.FetchBytes += units.Bytes(m.cfg.BlockSize)
 	}
 }
 

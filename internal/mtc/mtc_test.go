@@ -7,6 +7,7 @@ import (
 	"memwall/internal/cache"
 	"memwall/internal/stats"
 	"memwall/internal/trace"
+	"memwall/internal/units"
 )
 
 func read(a uint64) trace.Ref  { return trace.Ref{Kind: trace.Read, Addr: a} }
@@ -324,7 +325,7 @@ func TestTrafficDecreasesWithSize(t *testing.T) {
 	for i := 0; i < 20000; i++ {
 		refs = append(refs, read(uint64(rng.Intn(2048))*4))
 	}
-	var prev int64 = 1 << 62
+	var prev units.Bytes = 1 << 62
 	for _, size := range []int{64, 256, 1024, 4096} {
 		st := simulate(t, Config{Size: size, BlockSize: 4}, refs)
 		if st.TrafficBytes() > prev {

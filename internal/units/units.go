@@ -1,0 +1,102 @@
+// Package units defines named quantity types for the simulator's
+// accounting: bytes of traffic, machine words, cache blocks, processor
+// cycles, and dynamic instructions. The paper's entire methodology rests
+// on exact counts — the execution-time decomposition T_P / T_L / T_B
+// (Equations 1–3) is a difference of cycle counts, and the traffic ratios
+// R = D_below / D_above (Equation 4) are quotients of byte counts — so a
+// quantity silently accounted in the wrong unit corrupts every downstream
+// table. Giving each unit its own defined type makes cross-unit
+// arithmetic a compile error, and the unitlint analyzer
+// (internal/analysis/unitlint) extends the same discipline to plain
+// integer identifiers via their naming suffixes.
+//
+// All types are int64-based so they inherit exact integer arithmetic,
+// work with %d verbs, and cost nothing over the raw counters they
+// replace. Convert explicitly at unit boundaries:
+//
+//	traffic := units.Bytes(refs) * units.Bytes(trace.WordSize) // WRONG: bytes*bytes
+//	traffic := units.Words(refs).Bytes(trace.WordSize)         // right
+package units
+
+import "fmt"
+
+// Bytes counts bytes of data traffic (fills, write-backs, write-throughs).
+type Bytes int64
+
+// Words counts machine words (the paper's 4-byte reference granularity).
+type Words int64
+
+// Blocks counts cache blocks (lines or sub-blocks, per context).
+type Blocks int64
+
+// Cycles counts processor clock cycles of simulated time.
+type Cycles int64
+
+// Insts counts dynamic instructions.
+type Insts int64
+
+// String renders a byte count with binary-prefix units ("64KB", "2MB"),
+// matching the cache-size labels used throughout the paper's tables.
+func (b Bytes) String() string {
+	n := int64(b)
+	neg := ""
+	if n < 0 {
+		neg, n = "-", -n
+	}
+	switch {
+	case n >= 1<<30 && n%(1<<30) == 0:
+		return fmt.Sprintf("%s%dGB", neg, n>>30)
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%s%dMB", neg, n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%s%dKB", neg, n>>10)
+	default:
+		return fmt.Sprintf("%s%dB", neg, n)
+	}
+}
+
+// String renders a word count, e.g. "12w".
+func (w Words) String() string { return fmt.Sprintf("%dw", int64(w)) }
+
+// String renders a block count, e.g. "3blk".
+func (b Blocks) String() string { return fmt.Sprintf("%dblk", int64(b)) }
+
+// String renders a cycle count, e.g. "880cy".
+func (c Cycles) String() string { return fmt.Sprintf("%dcy", int64(c)) }
+
+// String renders an instruction count, e.g. "1024inst".
+func (i Insts) String() string { return fmt.Sprintf("%dinst", int64(i)) }
+
+// Bytes converts a word count at the given word size.
+func (w Words) Bytes(wordSize int) Bytes { return Bytes(int64(w) * int64(wordSize)) }
+
+// Bytes converts a block count at the given block size.
+func (b Blocks) Bytes(blockSize int) Bytes { return Bytes(int64(b) * int64(blockSize)) }
+
+// Words converts a byte count at the given word size, rounding up.
+func (b Bytes) Words(wordSize int) Words {
+	return Words((int64(b) + int64(wordSize) - 1) / int64(wordSize))
+}
+
+// Blocks converts a byte count at the given block size, rounding up.
+func (b Bytes) Blocks(blockSize int) Blocks {
+	return Blocks((int64(b) + int64(blockSize) - 1) / int64(blockSize))
+}
+
+// Float returns the count as a float64, for ratio computations.
+func (b Bytes) Float() float64 { return float64(b) }
+
+// Float returns the count as a float64, for ratio computations.
+func (c Cycles) Float() float64 { return float64(c) }
+
+// Float returns the count as a float64, for ratio computations.
+func (i Insts) Float() float64 { return float64(i) }
+
+// Ratio returns num/den (0 when den is 0) — the shape of every traffic
+// ratio and time fraction in the paper.
+func Ratio[T Bytes | Words | Blocks | Cycles | Insts](num, den T) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}

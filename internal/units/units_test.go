@@ -1,0 +1,63 @@
+package units
+
+import "testing"
+
+func TestBytesString(t *testing.T) {
+	cases := []struct {
+		in   Bytes
+		want string
+	}{
+		{0, "0B"},
+		{5, "5B"},
+		{1 << 10, "1KB"},
+		{64 << 10, "64KB"},
+		{2 << 20, "2MB"},
+		{1 << 30, "1GB"},
+		{1<<10 + 1, "1025B"},
+		{-2 << 10, "-2KB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Bytes(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestConversions(t *testing.T) {
+	if got := Words(3).Bytes(4); got != 12 {
+		t.Errorf("Words(3).Bytes(4) = %d, want 12", got)
+	}
+	if got := Blocks(2).Bytes(32); got != 64 {
+		t.Errorf("Blocks(2).Bytes(32) = %d, want 64", got)
+	}
+	if got := Bytes(13).Words(4); got != 4 {
+		t.Errorf("Bytes(13).Words(4) = %d, want 4 (round up)", got)
+	}
+	if got := Bytes(64).Blocks(32); got != 2 {
+		t.Errorf("Bytes(64).Blocks(32) = %d, want 2", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio[Bytes](128, 64); got != 2 {
+		t.Errorf("Ratio(128B, 64B) = %g, want 2", got)
+	}
+	if got := Ratio[Cycles](7, 0); got != 0 {
+		t.Errorf("Ratio(x, 0) = %g, want 0", got)
+	}
+}
+
+func TestOtherStrings(t *testing.T) {
+	if got := Words(12).String(); got != "12w" {
+		t.Errorf("Words.String() = %q", got)
+	}
+	if got := Blocks(3).String(); got != "3blk" {
+		t.Errorf("Blocks.String() = %q", got)
+	}
+	if got := Cycles(880).String(); got != "880cy" {
+		t.Errorf("Cycles.String() = %q", got)
+	}
+	if got := Insts(1024).String(); got != "1024inst" {
+		t.Errorf("Insts.String() = %q", got)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"memwall/internal/core"
 	"memwall/internal/mtc"
 	"memwall/internal/trace"
+	"memwall/internal/units"
 	"memwall/internal/workload"
 )
 
@@ -62,8 +63,8 @@ type TrafficResult struct {
 	// CacheBytes and MTCBytes are total traffic below the cache and
 	// below the same-size minimal-traffic cache, including write-backs
 	// and the end-of-run flush.
-	CacheBytes int64
-	MTCBytes   int64
+	CacheBytes units.Bytes
+	MTCBytes   units.Bytes
 	// TrafficRatio is R (Equation 4): cache traffic over processor
 	// traffic (refs x 4 bytes).
 	TrafficRatio float64
@@ -100,7 +101,7 @@ func MeasureTrafficConfig(p *Program, cfg cache.Config) (TrafficResult, error) {
 	return TrafficResult{
 		CacheBytes:   cst.TrafficBytes(),
 		MTCBytes:     mst.TrafficBytes(),
-		TrafficRatio: core.TrafficRatio(cst.TrafficBytes(), refs*trace.WordSize),
+		TrafficRatio: core.TrafficRatio(cst.TrafficBytes(), units.Words(refs).Bytes(trace.WordSize)),
 		Inefficiency: core.Inefficiency(cst.TrafficBytes(), mst.TrafficBytes()),
 		MissRate:     cst.MissRate(),
 	}, nil
