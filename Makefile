@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench vet fmt lint memlint figures paper selfcheck profile race clean
+.PHONY: all build test bench vet fmt lint memlint figures paper selfcheck selfcheck-par profile race clean
 
 all: build test
 
@@ -44,13 +44,25 @@ figures:
 selfcheck:
 	$(GO) run ./cmd/memwall selfcheck
 
+# Same battery sharded over 4 workers; output is byte-identical to the
+# serial run (see DESIGN.md §9).
+selfcheck-par:
+	$(GO) run ./cmd/memwall selfcheck -j 4
+
 # Simulator-throughput baseline: saves the sim-cycles/sec table so before/
 # after comparisons of simulator performance have something to diff against.
 profile:
 	$(GO) run ./cmd/memwall profile | tee profile_baseline.txt
 
+# Race-detect the short suite everywhere, then the parallel paths in
+# full: the worker pool, the shared telemetry instruments, and the CLI
+# grid sweeps (the -run filter keeps the slow serial-only cmd tests out —
+# they add race runtime but no concurrency, and push the full suite past
+# the go test timeout under the detector's overhead).
 race:
 	$(GO) test -race -short ./...
+	$(GO) test -race -timeout 20m ./internal/runner/... ./internal/telemetry/... ./internal/core/...
+	$(GO) test -race -timeout 20m -run 'ParallelDeterminism|Fig3Output|Table1Output|Table6Output' ./cmd/memwall
 
 clean:
 	rm -rf figures test_output.txt bench_output.txt profile_baseline.txt

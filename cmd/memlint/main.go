@@ -26,6 +26,7 @@ import (
 	"memwall/internal/analysis/detlint"
 	"memwall/internal/analysis/load"
 	"memwall/internal/analysis/registrylint"
+	"memwall/internal/analysis/streamlint"
 	"memwall/internal/analysis/telemetrylint"
 	"memwall/internal/analysis/unitlint"
 )
@@ -33,6 +34,7 @@ import (
 // suite is the full analyzer suite, in reporting-priority order.
 var suite = []*analysis.Analyzer{
 	detlint.Analyzer,
+	streamlint.Analyzer,
 	unitlint.Analyzer,
 	telemetrylint.Analyzer,
 	registrylint.Analyzer,

@@ -23,6 +23,7 @@ func runExport(args []string) error {
 	fs := flag.NewFlagSet("export", flag.ContinueOnError)
 	scale := scaleFlag(fs)
 	cacheScale := cacheScaleFlag(fs)
+	workers := workersFlag(fs)
 	skipTiming := fs.Bool("notiming", false, "skip the Figure 3 timing runs")
 	headline := fs.Bool("headline", false, "emit only the headline summary")
 	if err := fs.Parse(args); err != nil {
@@ -32,6 +33,7 @@ func runExport(args []string) error {
 		Scale:      *scale,
 		CacheScale: *cacheScale,
 		SkipTiming: *skipTiming,
+		Workers:    *workers,
 	})
 	if err != nil {
 		return err

@@ -36,14 +36,20 @@ func runProfile(args []string) error {
 		return err
 	}
 
+	// The profile sweep is deliberately serial — it measures the
+	// simulator's own single-stream throughput, which a worker pool would
+	// distort — so there is no -j flag here.
 	t := tablefmt.New(
 		fmt.Sprintf("Simulator throughput on %s (%s, scale %d): three-run decomposition per experiment",
 			*bench, suite, *scale),
 		"exp", "insts/run", "T cycles", "wall ms", "sim-cycles/s", "sim-MIPS", "mem-refs/s")
-	stream := p.Stream()
 	for _, m := range core.MachinesScaled(suite, *cacheScale) {
 		m.Obs = observation()
-		res, err := core.Decompose(m, stream)
+		// One stream per Decompose call (the ownership rule on
+		// core.Decompose): sharing a single stream across machines was
+		// correct only because cpu.Run resets it, and became a latent
+		// data race the moment sweeps learned to run cells concurrently.
+		res, err := core.Decompose(m, p.Stream())
 		if err != nil {
 			return fmt.Errorf("experiment %s: %w", m.Name, err)
 		}
@@ -57,6 +63,8 @@ func runProfile(args []string) error {
 		simCycles := res.TP + res.TI + res.T
 		simInsts := 3 * res.Full.Insts
 		memRefs := res.Full.Mem.Loads + res.Full.Mem.Stores
+		// Clamp like wall above: on a very fast run a zero-resolution
+		// clock would otherwise put +Inf/NaN in the mem-refs/s column.
 		fullWall := res.Wall.Full.Seconds()
 		if fullWall <= 0 {
 			fullWall = 1e-9
@@ -68,6 +76,11 @@ func runProfile(args []string) error {
 			fmt.Sprintf("%.2fM", float64(simCycles)/wall/1e6),
 			fmt.Sprintf("%.2f", float64(simInsts)/wall/1e6),
 			fmt.Sprintf("%.2fM", float64(memRefs)/fullWall/1e6))
+	}
+	// Table-level guard: the divisions above are all clamped, so a
+	// non-finite cell means a guard regressed.
+	if bad := t.NonFinite(); len(bad) > 0 {
+		return fmt.Errorf("profile: non-finite table cells (division guard regressed): %v", bad)
 	}
 	fmt.Println(t)
 	fmt.Println("(wall = all three simulations; mem-refs/s over the full-system run only)")

@@ -2,15 +2,24 @@
 // over every workload, verifying the relationships the reproduction's
 // conclusions rest on. Any FAIL indicates a simulator defect, not a
 // calibration difference.
+//
+// The check grids shard over the -j worker pool (see internal/runner):
+// each task owns its own streams and simulators, failures are collected
+// in task order, and the emitted report is byte-identical for any worker
+// count.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"strings"
 
 	"memwall/internal/cache"
 	"memwall/internal/core"
 	"memwall/internal/mtc"
+	"memwall/internal/runner"
+	"memwall/internal/telemetry"
 	"memwall/internal/units"
 	"memwall/internal/workload"
 )
@@ -25,22 +34,68 @@ type checkResult struct {
 	failed []string
 }
 
+// collect folds ordered per-task failure messages ("" = pass) into a
+// checkResult, preserving task order so the report is schedule-independent.
+func (c *checkResult) collect(msgs []string) {
+	for _, m := range msgs {
+		if m != "" {
+			c.failed = append(c.failed, m)
+		} else {
+			c.passed++
+		}
+	}
+}
+
 func runSelfcheck(args []string) error {
 	fs := flag.NewFlagSet("selfcheck", flag.ContinueOnError)
 	scale := scaleFlag(fs)
 	cacheScale := cacheScaleFlag(fs)
+	workers := workersFlag(fs)
 	timing := fs.Bool("timing", true, "include the (slower) timing-model checks")
+	benchList := fs.String("benches", "", "comma-separated workload subset to check (default: all)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	names := workload.Names()
+	if *benchList != "" {
+		known := map[string]bool{}
+		for _, n := range names {
+			known[n] = true
+		}
+		names = nil
+		for _, n := range strings.Split(*benchList, ",") {
+			n = strings.TrimSpace(n)
+			if !known[n] {
+				return fmt.Errorf("selfcheck: unknown benchmark %q (known: %v)", n, workload.Names())
+			}
+			names = append(names, n)
+		}
+	}
+
 	progs := map[string]*workload.Program{}
-	for _, name := range workload.Names() {
+	for _, name := range names {
 		p, err := workload.Generate(name, *scale)
 		if err != nil {
 			return err
 		}
 		progs[name] = p
+	}
+	// pick intersects a check's fixed benchmark list with the -benches
+	// filter, keeping the check's own order.
+	pick := func(candidates ...string) []string {
+		var out []string
+		for _, c := range candidates {
+			if progs[c] != nil {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+
+	ctx := context.Background()
+	pool := func(label func(i int) string) runner.Config {
+		return runner.Config{Workers: *workers, Obs: observation(), TaskName: label}
 	}
 
 	var results []checkResult
@@ -49,137 +104,203 @@ func runSelfcheck(args []string) error {
 	// fully-associative LRU cache of the same size (MIN dominance) —
 	// Equation 6's G >= 1 for the matched configuration.
 	c1 := checkResult{name: "MIN dominance (MTC <= fully-assoc LRU, 4B blocks)"}
-	for _, name := range workload.Names() {
-		p := progs[name]
+	type sizedCell struct {
+		name string
+		size int
+	}
+	var grid1 []sizedCell
+	for _, name := range names {
 		for _, size := range []int{4 << 10, 32 << 10} {
-			lru, err := cache.New(cache.Config{Size: size, BlockSize: 4, Assoc: 0})
-			if err != nil {
-				return err
-			}
-			lt := lru.Run(p.MemRefs()).TrafficBytes()
-			mt, err := mtc.Simulate(mtc.Config{Size: size, BlockSize: 4, Alloc: mtc.WriteValidate}, p.MemRefs())
-			if err != nil {
-				return err
-			}
-			if mt.TrafficBytes() > lt {
-				c1.failed = append(c1.failed, fmt.Sprintf("%s@%dKB: MTC %d > LRU %d", name, size>>10, mt.TrafficBytes(), lt))
-			} else {
-				c1.passed++
-			}
+			grid1 = append(grid1, sizedCell{name, size})
 		}
 	}
+	msgs, err := runner.Map(ctx, pool(func(i int) string {
+		return fmt.Sprintf("selfcheck:min-dominance:%s@%dKB", grid1[i].name, grid1[i].size>>10)
+	}), len(grid1), func(ctx context.Context, i int, _ *telemetry.Tracer) (string, error) {
+		g := grid1[i]
+		p := progs[g.name]
+		lru, err := cache.New(cache.Config{Size: g.size, BlockSize: 4, Assoc: 0})
+		if err != nil {
+			return "", err
+		}
+		// Every task builds its own reference streams (p.MemRefs()); the
+		// underlying instruction slice is shared read-only.
+		lt := lru.Run(p.MemRefs()).TrafficBytes()
+		mt, err := mtc.Simulate(mtc.Config{Size: g.size, BlockSize: 4, Alloc: mtc.WriteValidate}, p.MemRefs())
+		if err != nil {
+			return "", err
+		}
+		if mt.TrafficBytes() > lt {
+			return fmt.Sprintf("%s@%dKB: MTC %d > LRU %d", g.name, g.size>>10, mt.TrafficBytes(), lt), nil
+		}
+		return "", nil
+	})
+	if err != nil {
+		return err
+	}
+	c1.collect(msgs)
 	results = append(results, c1)
 
 	// Check 2: cache traffic decreases (weakly) with fully-associative
-	// LRU size — the inclusion property.
+	// LRU size — the inclusion property. The size ladder chains within a
+	// benchmark, so each task walks one benchmark's ladder serially.
 	c2 := checkResult{name: "LRU inclusion (traffic non-increasing with size)"}
-	for _, name := range workload.Names() {
-		p := progs[name]
+	type ladder struct {
+		passed int
+		failed []string
+	}
+	ladders, err := runner.Map(ctx, pool(func(i int) string {
+		return "selfcheck:lru-inclusion:" + names[i]
+	}), len(names), func(ctx context.Context, i int, _ *telemetry.Tracer) (ladder, error) {
+		p := progs[names[i]]
+		var l ladder
 		var prev int64 = -1
 		for _, size := range []int{4 << 10, 16 << 10, 64 << 10, 256 << 10} {
 			c, err := cache.New(cache.Config{Size: size, BlockSize: 32, Assoc: 0})
 			if err != nil {
-				return err
+				return ladder{}, err
 			}
 			cur := c.Run(p.MemRefs()).Misses
 			if prev >= 0 && cur > prev {
-				c2.failed = append(c2.failed, fmt.Sprintf("%s: misses rose %d -> %d at %dKB", name, prev, cur, size>>10))
+				l.failed = append(l.failed, fmt.Sprintf("%s: misses rose %d -> %d at %dKB", names[i], prev, cur, size>>10))
 			} else {
-				c2.passed++
+				l.passed++
 			}
 			prev = cur
 		}
+		return l, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, l := range ladders {
+		c2.passed += l.passed
+		c2.failed = append(c2.failed, l.failed...)
 	}
 	results = append(results, c2)
 
 	// Check 3: traffic accounting conservation.
 	c3 := checkResult{name: "traffic conservation (fetch+wb bytes match counters)"}
-	for _, name := range workload.Names() {
-		p := progs[name]
+	msgs, err = runner.Map(ctx, pool(func(i int) string {
+		return "selfcheck:conservation:" + names[i]
+	}), len(names), func(ctx context.Context, i int, _ *telemetry.Tracer) (string, error) {
+		name := names[i]
 		c, err := cache.New(cache.Config{Size: 16 << 10, BlockSize: 32, Assoc: 2})
 		if err != nil {
-			return err
+			return "", err
 		}
-		st := c.Run(p.MemRefs())
+		st := c.Run(progs[name].MemRefs())
 		if st.FetchBytes != units.Blocks(st.Fetches).Bytes(32) || st.Fetches != st.Misses {
-			c3.failed = append(c3.failed, name)
-		} else {
-			c3.passed++
+			return name, nil
 		}
+		return "", nil
+	})
+	if err != nil {
+		return err
 	}
+	c3.collect(msgs)
 	results = append(results, c3)
 
 	// Check 4: deterministic replay — two runs of everything agree.
 	c4 := checkResult{name: "determinism (generation + simulation replay)"}
-	for _, name := range []string{"compress", "swm", "vortex"} {
+	replayNames := pick("compress", "swm", "vortex")
+	msgs, err = runner.Map(ctx, pool(func(i int) string {
+		return "selfcheck:determinism:" + replayNames[i]
+	}), len(replayNames), func(ctx context.Context, i int, _ *telemetry.Tracer) (string, error) {
+		name := replayNames[i]
 		a, err := workload.Generate(name, *scale)
 		if err != nil {
-			return err
+			return "", err
 		}
 		if len(a.Insts) != len(progs[name].Insts) {
-			c4.failed = append(c4.failed, name+": generation differs")
-			continue
+			return name + ": generation differs", nil
 		}
 		run := func(p *workload.Program) units.Bytes {
 			c, _ := cache.New(cache.Config{Size: 8 << 10, BlockSize: 32, Assoc: 1})
 			return c.Run(p.MemRefs()).TrafficBytes()
 		}
 		if run(a) != run(progs[name]) {
-			c4.failed = append(c4.failed, name+": simulation differs")
-		} else {
-			c4.passed++
+			return name + ": simulation differs", nil
 		}
+		return "", nil
+	})
+	if err != nil {
+		return err
 	}
+	c4.collect(msgs)
 	results = append(results, c4)
 
 	// Check 5 (timing): T_P <= T_I <= T on every machine.
 	if *timing {
 		c5 := checkResult{name: "decomposition ordering (T_P <= T_I <= T, machines A/C/F)"}
-		for _, name := range []string{"espresso", "su2cor", "li", "swim95"} {
-			p := progs[name]
+		type timedCell struct {
+			name, exp string
+		}
+		var grid5 []timedCell
+		for _, name := range pick("espresso", "su2cor", "li", "swim95") {
 			for _, expName := range []string{"A", "C", "F"} {
-				m, err := core.MachineByName(p.Suite, expName, *cacheScale)
-				if err != nil {
-					return err
-				}
-				res, err := core.Decompose(m, p.Stream())
-				if err != nil {
-					return err
-				}
-				if err := res.Validate(); err != nil {
-					c5.failed = append(c5.failed, fmt.Sprintf("%s/%s: %v", name, expName, err))
-				} else {
-					c5.passed++
-				}
+				grid5 = append(grid5, timedCell{name, expName})
 			}
 		}
+		msgs, err = runner.Map(ctx, pool(func(i int) string {
+			return fmt.Sprintf("selfcheck:ordering:%s/%s", grid5[i].name, grid5[i].exp)
+		}), len(grid5), func(ctx context.Context, i int, tracer *telemetry.Tracer) (string, error) {
+			g := grid5[i]
+			p := progs[g.name]
+			m, err := core.MachineByName(p.Suite, g.exp, *cacheScale)
+			if err != nil {
+				return "", err
+			}
+			m.Obs = taskObservation(tracer)
+			// Per-task stream: see the core.Decompose ownership rule.
+			res, err := core.Decompose(m, p.Stream())
+			if err != nil {
+				return "", err
+			}
+			if err := res.Validate(); err != nil {
+				return fmt.Sprintf("%s/%s: %v", g.name, g.exp, err), nil
+			}
+			return "", nil
+		})
+		if err != nil {
+			return err
+		}
+		c5.collect(msgs)
 		results = append(results, c5)
 
 		// Check 6 (timing): wider buses never slow the full system down.
 		c6 := checkResult{name: "bus-width monotonicity (2x width never slower)"}
-		for _, name := range []string{"su2cor", "swm"} {
+		busNames := pick("su2cor", "swm")
+		msgs, err = runner.Map(ctx, pool(func(i int) string {
+			return "selfcheck:bus-width:" + busNames[i]
+		}), len(busNames), func(ctx context.Context, i int, tracer *telemetry.Tracer) (string, error) {
+			name := busNames[i]
 			p := progs[name]
 			m, err := core.MachineByName(workload.SPEC92, "F", *cacheScale)
 			if err != nil {
-				return err
+				return "", err
 			}
+			m.Obs = taskObservation(tracer)
 			base, err := core.Decompose(m, p.Stream())
 			if err != nil {
-				return err
+				return "", err
 			}
 			wide := m
 			wide.Mem.L1L2Bus.WidthBytes *= 2
 			wide.Mem.MemBus.WidthBytes *= 2
 			w, err := core.Decompose(wide, p.Stream())
 			if err != nil {
-				return err
+				return "", err
 			}
 			if w.T > base.T {
-				c6.failed = append(c6.failed, fmt.Sprintf("%s: %d -> %d cycles", name, base.T, w.T))
-			} else {
-				c6.passed++
+				return fmt.Sprintf("%s: %d -> %d cycles", name, base.T, w.T), nil
 			}
+			return "", nil
+		})
+		if err != nil {
+			return err
 		}
+		c6.collect(msgs)
 		results = append(results, c6)
 	}
 

@@ -3,13 +3,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"strings"
 
 	"memwall/internal/core"
 	"memwall/internal/mem"
+	"memwall/internal/runner"
 	"memwall/internal/tablefmt"
+	"memwall/internal/telemetry"
 	"memwall/internal/workload"
 )
 
@@ -63,6 +66,7 @@ func runFig3(args []string) error {
 	fs := flag.NewFlagSet("fig3", flag.ContinueOnError)
 	scale := scaleFlag(fs)
 	cacheScale := cacheScaleFlag(fs)
+	workers := workersFlag(fs)
 	suiteName := fs.String("suite", "both", "92, 95, or both")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,7 +84,7 @@ func runFig3(args []string) error {
 		if err != nil {
 			return err
 		}
-		cells, err := core.Figure3Observed(suite, progs, *cacheScale, observation())
+		cells, err := core.Figure3Parallel(suite, progs, *cacheScale, observation(), *workers)
 		if err != nil {
 			return err
 		}
@@ -136,6 +140,7 @@ func runTable6(args []string) error {
 	fs := flag.NewFlagSet("table6", flag.ContinueOnError)
 	scale := scaleFlag(fs)
 	cacheScale := cacheScaleFlag(fs)
+	workers := workersFlag(fs)
 	suiteName := fs.String("suite", "both", "92, 95, or both")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -148,36 +153,55 @@ func runTable6(args []string) error {
 		}
 		suites = []workload.Suite{s}
 	}
-	t := tablefmt.New("Table 6: latency vs bandwidth stalls (% of execution time), experiments A and F",
-		"benchmark", "A: f_L%", "A: f_B%", "F: f_L%", "F: f_B%", "F: f_B>f_L")
+	type task struct {
+		suite workload.Suite
+		p     *workload.Program
+	}
+	var tasks []task
 	for _, suite := range suites {
 		progs, err := generateSuite(suite, *scale)
 		if err != nil {
 			return err
 		}
 		for _, p := range progs {
-			row := []string{p.Name}
-			var fbWins bool
-			for _, expName := range []string{"A", "F"} {
-				m, err := core.MachineByName(suite, expName, *cacheScale)
-				if err != nil {
-					return err
-				}
-				m.Obs = observation()
-				res, err := core.Decompose(m, p.Stream())
-				if err != nil {
-					return err
-				}
-				row = append(row,
-					fmt.Sprintf("%.1f", res.FL()*100),
-					fmt.Sprintf("%.1f", res.FB()*100))
-				if expName == "F" {
-					fbWins = res.FB() > res.FL()
-				}
-			}
-			row = append(row, fmt.Sprintf("%v", fbWins))
-			t.AddRow(row...)
+			tasks = append(tasks, task{suite, p})
 		}
+	}
+	rows, err := runner.Map(context.Background(), runner.Config{
+		Workers:  *workers,
+		Obs:      observation(),
+		TaskName: func(i int) string { return "table6:" + tasks[i].p.Name },
+	}, len(tasks), func(ctx context.Context, i int, tracer *telemetry.Tracer) ([]string, error) {
+		tk := tasks[i]
+		row := []string{tk.p.Name}
+		var fbWins bool
+		for _, expName := range []string{"A", "F"} {
+			m, err := core.MachineByName(tk.suite, expName, *cacheScale)
+			if err != nil {
+				return nil, err
+			}
+			m.Obs = taskObservation(tracer)
+			// Per-task stream: see the core.Decompose ownership rule.
+			res, err := core.Decompose(m, tk.p.Stream())
+			if err != nil {
+				return nil, err
+			}
+			row = append(row,
+				fmt.Sprintf("%.1f", res.FL()*100),
+				fmt.Sprintf("%.1f", res.FB()*100))
+			if expName == "F" {
+				fbWins = res.FB() > res.FL()
+			}
+		}
+		return append(row, fmt.Sprintf("%v", fbWins)), nil
+	})
+	if err != nil {
+		return err
+	}
+	t := tablefmt.New("Table 6: latency vs bandwidth stalls (% of execution time), experiments A and F",
+		"benchmark", "A: f_L%", "A: f_B%", "F: f_L%", "F: f_B%", "F: f_B>f_L")
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	fmt.Println(t)
 	return nil
@@ -190,6 +214,7 @@ func runTable1(args []string) error {
 	fs := flag.NewFlagSet("table1", flag.ContinueOnError)
 	scale := scaleFlag(fs)
 	cacheScale := cacheScaleFlag(fs)
+	workers := workersFlag(fs)
 	bench := fs.String("bench", "su2cor", "benchmark to ablate")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -261,14 +286,27 @@ func runTable1(args []string) error {
 			m.Mem.MemBus.WidthBytes *= 2
 		}},
 	}
-	for _, v := range variants {
+	decomps, err := runner.Map(context.Background(), runner.Config{
+		Workers:  *workers,
+		Obs:      observation(),
+		TaskName: func(i int) string { return "table1:" + variants[i].name },
+	}, len(variants), func(ctx context.Context, i int, tracer *telemetry.Tracer) (core.Decomposition, error) {
+		v := variants[i]
 		m := base
 		v.mut(&m)
+		m.Obs = taskObservation(tracer)
+		// Per-task stream: see the core.Decompose ownership rule.
 		res, err := core.Decompose(m, p.Stream())
 		if err != nil {
-			return fmt.Errorf("%s: %w", v.name, err)
+			return core.Decomposition{}, fmt.Errorf("%s: %w", v.name, err)
 		}
-		addRow(v.name, res.Decomposition)
+		return res.Decomposition, nil
+	})
+	if err != nil {
+		return err
+	}
+	for i, v := range variants {
+		addRow(v.name, decomps[i])
 	}
 	fmt.Println(t)
 	fmt.Println("Paper Table 1 predicts f_B rises for latency-tolerance and processor")

@@ -51,3 +51,35 @@ func TestTable7DeterministicReplay(t *testing.T) {
 		t.Errorf("table7 output differs between replays:\n run 1:\n%s\n run 2:\n%s", first, second)
 	}
 }
+
+// TestFig3ParallelDeterminism requires the Figure 3 emission under a
+// parallel worker pool to be byte-identical to the serial path: the
+// runner's ordered collection means -j only changes wall time, never
+// output.
+func TestFig3ParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing simulation")
+	}
+	serial := capture(t, func() error { return runFig3([]string{"-suite", "92", "-j", "1"}) })
+	parallel := capture(t, func() error { return runFig3([]string{"-suite", "92", "-j", "8"}) })
+	if serial != parallel {
+		t.Errorf("fig3 output differs between -j 1 and -j 8:\n serial:\n%s\n parallel:\n%s", serial, parallel)
+	}
+}
+
+// TestSelfcheckParallelDeterminism requires the selfcheck report under a
+// parallel worker pool to be byte-identical to the serial path. The
+// -benches subset keeps the runtime test-sized while still covering the
+// sharded timing checks (li and su2cor appear in the decomposition-
+// ordering and bus-width grids).
+func TestSelfcheckParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing simulation")
+	}
+	args := func(j string) []string { return []string{"-benches", "compress,li,su2cor", "-j", j} }
+	serial := capture(t, func() error { return runSelfcheck(args("1")) })
+	parallel := capture(t, func() error { return runSelfcheck(args("8")) })
+	if serial != parallel {
+		t.Errorf("selfcheck output differs between -j 1 and -j 8:\n serial:\n%s\n parallel:\n%s", serial, parallel)
+	}
+}

@@ -26,12 +26,16 @@
 //
 // Every command also accepts the global observability flags -metrics,
 // -events, -cpuprofile, -memprofile, and -progress (see observe.go).
+// The grid-sweeping commands (fig3, table1, table6, selfcheck, export)
+// take -j N to shard their simulation grid over N workers (default
+// GOMAXPROCS); output is byte-identical for any worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 )
 
@@ -152,4 +156,13 @@ func scaleFlag(fs *flag.FlagSet) *int {
 // the data-set-to-cache ratios (pass 1 for the paper-exact sizes).
 func cacheScaleFlag(fs *flag.FlagSet) *int {
 	return fs.Int("cachescale", 16, "divide Table 4 cache sizes by this factor (1 = paper-exact)")
+}
+
+// workersFlag adds the common -j flag to the subcommands that sweep the
+// (benchmark × experiment) simulation grid. Output is byte-identical for
+// any worker count (-j 1 reproduces the serial sweep bit-for-bit); the
+// profile subcommand deliberately omits it, since it measures the
+// simulator's own single-stream throughput.
+func workersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("j", runtime.GOMAXPROCS(0), "parallel simulation workers for grid sweeps (1 = serial)")
 }

@@ -99,6 +99,17 @@ var currentObs telemetry.Observation
 // observation returns the telemetry hooks for the current invocation.
 func observation() telemetry.Observation { return currentObs }
 
+// taskObservation re-bases the run-wide observation onto a worker's
+// tracer track for one parallel grid task: metrics and the progress
+// heartbeat stay shared (both are concurrency-safe), while spans land on
+// the executing worker's TID so Perfetto renders concurrent cells on
+// separate tracks.
+func taskObservation(tracer *telemetry.Tracer) telemetry.Observation {
+	o := currentObs
+	o.Tracer = tracer
+	return o
+}
+
 // scrapeIntFlag finds the value of an integer flag in a raw argument list
 // without consuming it; def is returned when absent or malformed. Used to
 // record -scale/-cachescale in the manifest before the subcommand's own
@@ -118,6 +129,34 @@ func scrapeIntFlag(args []string, name string, def int) int {
 		}
 	}
 	return def
+}
+
+// stripIntFlag is scrapeIntFlag plus removal: it returns the flag's value
+// (def when absent or malformed) and a copy of args without the flag and
+// its value. The manifest uses it for -j — the worker count is recorded
+// as provenance (Manifest.Workers) but must stay out of the fingerprinted
+// args, since parallel sweeps produce identical results at any count.
+func stripIntFlag(args []string, name string, def int) (int, []string) {
+	val := def
+	var rest []string
+	for i := 0; i < len(args); i++ {
+		a := strings.TrimLeft(args[i], "-")
+		if a == name && i+1 < len(args) {
+			if v, err := strconv.Atoi(args[i+1]); err == nil {
+				val = v
+				i++
+				continue
+			}
+		}
+		if after, ok := strings.CutPrefix(a, name+"="); ok {
+			if v, err := strconv.Atoi(after); err == nil {
+				val = v
+				continue
+			}
+		}
+		rest = append(rest, args[i])
+	}
+	return val, rest
 }
 
 // runCommand wraps dispatch with the observability envelope: it peels the
@@ -164,10 +203,12 @@ func runObserved(name string, rest []string, opts globalOpts, fn func() error) e
 		stopCPU = stop
 	}
 
-	man := telemetry.NewManifest("memwall", name, rest)
+	workers, manifestArgs := stripIntFlag(rest, "j", 0)
+	man := telemetry.NewManifest("memwall", name, manifestArgs)
 	man.Seed = workload.BaseSeed
 	man.Scale = scrapeIntFlag(rest, "scale", 1)
 	man.CacheScale = scrapeIntFlag(rest, "cachescale", 16)
+	man.Workers = workers
 	start := time.Now()
 
 	currentObs = obs

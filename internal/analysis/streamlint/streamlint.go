@@ -1,0 +1,188 @@
+// Package streamlint enforces the stream-ownership rule that makes the
+// parallel experiment runner safe: an instruction or reference stream
+// (any value whose method set has the cursor pair Next() (T, bool) and
+// Reset()) carries mutable iteration state, so a single stream must never
+// be visible to two goroutines. Each core.Decompose call — and each
+// runner.Map task — must build its own stream (Program.Stream(),
+// Program.MemRefs()) inside the goroutine that consumes it.
+//
+// Two leak patterns are flagged:
+//
+//  1. a go statement whose function literal captures a stream variable
+//     declared outside the literal, or whose call passes a stream as an
+//     argument — the classic shared-cursor data race;
+//  2. a function literal handed to the worker pool (any function in
+//     SpawnerPackages, i.e. memwall/internal/runner) that captures an
+//     outer stream variable — the pool runs task functions on worker
+//     goroutines, so a captured stream is shared across workers even
+//     though no go statement appears at the call site.
+//
+// A false positive (e.g. a stream captured by a goroutine that is
+// provably the only consumer) can be silenced with a
+// //memlint:allow streamlint comment, but the cheap fix — construct the
+// stream inside the goroutine — is almost always the right one.
+package streamlint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"memwall/internal/analysis"
+)
+
+// Analyzer is the streamlint pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "streamlint",
+	Doc:  "forbid sharing a mutable instruction/reference stream across goroutines (one stream per Decompose call)",
+	Run:  run,
+}
+
+// SpawnerPackages lists packages (by import-path suffix match) whose
+// functions run caller-supplied function literals on worker goroutines.
+// Tests may override for fixtures.
+var SpawnerPackages = []string{
+	"memwall/internal/runner",
+}
+
+func matches(pkgPath, pat string) bool {
+	return pkgPath == pat ||
+		strings.HasPrefix(pkgPath, pat+"/") ||
+		strings.HasSuffix(pkgPath, "/"+pat)
+}
+
+func matchesAny(pkgPath string, pats []string) bool {
+	for _, p := range pats {
+		if matches(pkgPath, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				checkGoStmt(pass, n)
+			case *ast.CallExpr:
+				checkSpawnerCall(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkGoStmt flags streams crossing the goroutine boundary of a go
+// statement: captured by its function literal or passed as an argument.
+func checkGoStmt(pass *analysis.Pass, g *ast.GoStmt) {
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		reportCaptures(pass, lit, "go statement")
+	}
+	for _, arg := range g.Call.Args {
+		if tv, ok := pass.TypesInfo.Types[arg]; ok && isStream(tv.Type) {
+			pass.Reportf(arg.Pos(),
+				"stream (%s) passed to a goroutine: streams carry a mutable cursor; construct one per goroutine instead of sharing it", tv.Type)
+		}
+	}
+}
+
+// checkSpawnerCall flags function literals handed to a worker-pool
+// function (SpawnerPackages) that capture outer stream variables.
+func checkSpawnerCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel]
+	if !ok || obj.Pkg() == nil || !matchesAny(obj.Pkg().Path(), SpawnerPackages) {
+		return
+	}
+	for _, arg := range call.Args {
+		if lit, ok := arg.(*ast.FuncLit); ok {
+			reportCaptures(pass, lit, obj.Pkg().Name()+"."+obj.Name())
+		}
+	}
+}
+
+// reportCaptures reports every distinct outer stream variable used inside
+// lit. A variable is "outer" when its declaration lies outside the
+// literal; streams created inside the literal are each goroutine's own.
+func reportCaptures(pass *analysis.Pass, lit *ast.FuncLit, where string) {
+	seen := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() || seen[obj] {
+			return true
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+			return true // declared inside the literal: per-goroutine
+		}
+		if !isStream(v.Type()) {
+			return true
+		}
+		seen[obj] = true
+		pass.Reportf(id.Pos(),
+			"stream %s (%s) captured by a function literal run on another goroutine (%s): streams carry a mutable cursor; construct the stream inside the literal", id.Name, v.Type(), where)
+		return true
+	})
+}
+
+// isStream reports whether t's method set (or *t's, for addressable
+// non-pointer types) carries the stream cursor pair:
+//
+//	Next() (T, bool)
+//	Reset()
+//
+// This matches isa.Stream, *isa.SliceStream, trace.Stream, and *isa.MemRefs
+// without importing them, so fixture and future stream types are covered by
+// shape, not by name.
+func isStream(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if hasCursorPair(t) {
+		return true
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+		if _, isIface := t.Underlying().(*types.Interface); !isIface {
+			return hasCursorPair(types.NewPointer(t))
+		}
+	}
+	return false
+}
+
+func hasCursorPair(t types.Type) bool {
+	ms := types.NewMethodSet(t)
+	var next, reset bool
+	for i := 0; i < ms.Len(); i++ {
+		fn, ok := ms.At(i).Obj().(*types.Func)
+		if !ok {
+			continue
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		switch fn.Name() {
+		case "Next":
+			if sig.Params().Len() == 0 && sig.Results().Len() == 2 {
+				if b, ok := sig.Results().At(1).Type().Underlying().(*types.Basic); ok && b.Kind() == types.Bool {
+					next = true
+				}
+			}
+		case "Reset":
+			if sig.Params().Len() == 0 && sig.Results().Len() == 0 {
+				reset = true
+			}
+		}
+	}
+	return next && reset
+}

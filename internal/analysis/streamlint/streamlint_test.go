@@ -1,0 +1,14 @@
+package streamlint
+
+import (
+	"testing"
+
+	"memwall/internal/analysis/analysistest"
+)
+
+func TestStreamlint(t *testing.T) {
+	old := SpawnerPackages
+	SpawnerPackages = []string{"runner"}
+	defer func() { SpawnerPackages = old }()
+	analysistest.Run(t, Analyzer, "./testdata/src/streambad", "./testdata/src/streamclean")
+}

@@ -1,0 +1,18 @@
+// Package runner is the streamlint spawner fixture: the test overrides
+// streamlint.SpawnerPackages to match it, so it stands in for
+// memwall/internal/runner. Map runs fn on worker goroutines.
+package runner
+
+func Map(n int, fn func(i int) error) error {
+	done := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) { done <- fn(i) }(i)
+	}
+	var first error
+	for i := 0; i < n; i++ {
+		if err := <-done; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,89 @@
+// Package streambad is the streamlint positive fixture: every way a
+// mutable stream cursor can leak across a goroutine boundary.
+package streambad
+
+import (
+	"memwall/internal/analysis/streamlint/testdata/src/runner"
+)
+
+// stream has the cursor pair streamlint recognises by shape.
+type stream struct {
+	insts []int
+	pos   int
+}
+
+func (s *stream) Next() (int, bool) {
+	if s.pos >= len(s.insts) {
+		return 0, false
+	}
+	i := s.insts[s.pos]
+	s.pos++
+	return i, true
+}
+
+func (s *stream) Reset() { s.pos = 0 }
+
+// Stream is the interface form, also recognised by shape.
+type Stream interface {
+	Next() (int, bool)
+	Reset()
+}
+
+func drain(s Stream) int {
+	n := 0
+	for _, ok := s.Next(); ok; _, ok = s.Next() {
+		n++
+	}
+	return n
+}
+
+// GoCapture shares one cursor between the spawner and the goroutine.
+func GoCapture() {
+	s := &stream{insts: []int{1, 2, 3}}
+	go func() {
+		s.Next() // want "stream s .* captured by a function literal"
+	}()
+	s.Next()
+}
+
+// GoArg passes the shared cursor as a goroutine argument.
+func GoArg() {
+	s := &stream{insts: []int{1, 2, 3}}
+	go func(st Stream) {
+		drain(st)
+	}(s) // want "stream .* passed to a goroutine"
+}
+
+// GoIface captures through the interface type; the shape check still fires.
+func GoIface() {
+	var s Stream = &stream{insts: []int{1}}
+	done := make(chan int)
+	go func() {
+		done <- drain(s) // want "stream s .* captured by a function literal"
+	}()
+	drain(s)
+	<-done
+}
+
+// PoolCapture hands the worker pool a task that closes over one stream:
+// no go statement at this call site, but the pool runs the literal on
+// worker goroutines all the same.
+func PoolCapture() error {
+	s := &stream{insts: []int{1, 2, 3}}
+	return runner.Map(4, func(i int) error {
+		drain(s) // want "stream s .* captured by a function literal run on another goroutine \(runner.Map\)"
+		return nil
+	})
+}
+
+// Allowed demonstrates the escape hatch for a deliberate share.
+func Allowed() {
+	s := &stream{insts: []int{1}}
+	done := make(chan struct{})
+	go func() {
+		//memlint:allow streamlint single consumer; spawner never touches s again
+		s.Next()
+		close(done)
+	}()
+	<-done
+}

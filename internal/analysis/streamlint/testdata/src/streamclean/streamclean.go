@@ -1,0 +1,68 @@
+// Package streamclean is the streamlint negative fixture: per-goroutine
+// stream construction and non-stream captures must stay silent.
+package streamclean
+
+import (
+	"memwall/internal/analysis/streamlint/testdata/src/runner"
+)
+
+type stream struct {
+	insts []int
+	pos   int
+}
+
+func (s *stream) Next() (int, bool) {
+	if s.pos >= len(s.insts) {
+		return 0, false
+	}
+	i := s.insts[s.pos]
+	s.pos++
+	return i, true
+}
+
+func (s *stream) Reset() { s.pos = 0 }
+
+// program is the stream factory: sharing the factory is fine, only the
+// streams it mints are single-owner.
+type program struct{ insts []int }
+
+func (p *program) Stream() *stream { return &stream{insts: p.insts} }
+
+// PerTaskStream builds a fresh stream inside each task: the ownership rule.
+func PerTaskStream(p *program) error {
+	return runner.Map(4, func(i int) error {
+		s := p.Stream()
+		for _, ok := s.Next(); ok; _, ok = s.Next() {
+		}
+		return nil
+	})
+}
+
+// PerGoroutineStream builds the stream inside the goroutine.
+func PerGoroutineStream(p *program) {
+	done := make(chan int)
+	go func() {
+		s := p.Stream()
+		n := 0
+		for _, ok := s.Next(); ok; _, ok = s.Next() {
+			n++
+		}
+		done <- n
+	}()
+	<-done
+}
+
+// counter has Next but not the full cursor pair; capturing it is fine.
+type counter struct{ n int }
+
+func (c *counter) Next() (int, bool) { c.n++; return c.n, true }
+
+func CaptureNonStream() {
+	c := &counter{}
+	done := make(chan struct{})
+	go func() {
+		c.Next()
+		close(done)
+	}()
+	<-done
+}

@@ -120,6 +120,13 @@ type DecomposeResult struct {
 // Decompose measures T_P, T_I, and T for program s on machine m by running
 // the three simulations of Section 3.1, and returns the decomposition.
 //
+// Stream ownership: Decompose owns s for the whole call — all three
+// simulations replay it via Reset, mutating its cursor. A stream must
+// therefore never be shared between concurrent Decompose calls (or any
+// other concurrent consumer): give every call its own stream, typically a
+// fresh Program.Stream() per (benchmark, experiment) task. The streamlint
+// analyzer flags streams that cross goroutine boundaries.
+//
 // If m.Obs is populated, each simulation is traced as a span named
 // "sim:<mode>", the progress heartbeat runs throughout, and the counters
 // of the full-system run (only — the perfect and infinite-bandwidth runs

@@ -3,10 +3,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"memwall/internal/cpu"
 	"memwall/internal/mem"
+	"memwall/internal/runner"
 	"memwall/internal/telemetry"
 	"memwall/internal/units"
 	"memwall/internal/workload"
@@ -163,47 +165,100 @@ type BenchmarkDecomposition struct {
 // size-reduced workloads (see MachinesScaled); pass 1 for the paper-exact
 // Table 4 sizes.
 func Figure3(suite workload.Suite, progs []*workload.Program, cacheScale int) ([]BenchmarkDecomposition, error) {
-	return Figure3Observed(suite, progs, cacheScale, telemetry.Observation{})
+	return Figure3Parallel(suite, progs, cacheScale, telemetry.Observation{}, 1)
 }
 
-// Figure3Observed is Figure3 with telemetry attached: each benchmark is
-// traced as a span ("bench:<name>") enclosing the per-experiment
-// simulation spans, and the full-system runs publish their counters into
-// obs.Metrics (see Decompose).
+// Figure3Observed is Figure3 with telemetry attached: each (benchmark,
+// experiment) cell is traced as a span ("bench:<name>/<exp>") enclosing
+// its three simulation spans, and the full-system runs publish their
+// counters into obs.Metrics (see Decompose). Cells run serially; use
+// Figure3Parallel to shard the grid over workers.
 func Figure3Observed(suite workload.Suite, progs []*workload.Program, cacheScale int, obs telemetry.Observation) ([]BenchmarkDecomposition, error) {
+	return Figure3Parallel(suite, progs, cacheScale, obs, 1)
+}
+
+// Figure3Parallel is Figure3Observed with the (benchmark × experiment)
+// grid sharded over a worker pool (see internal/runner): workers <= 0
+// selects GOMAXPROCS, 1 reproduces the serial sweep bit-for-bit. Every
+// cell gets its own instruction stream (the Decompose ownership rule), so
+// concurrent cells never share mutable simulator state, and results are
+// collected in grid order — the returned slice is byte-identical however
+// the tasks were scheduled.
+//
+// Unlike the historical sweep, a benchmark whose experiment A processing
+// time is unavailable or zero is an explicit error rather than a silent
+// NormTime of 0 (which rendered as garbage bars in plots and tables).
+func Figure3Parallel(suite workload.Suite, progs []*workload.Program, cacheScale int, obs telemetry.Observation, workers int) ([]BenchmarkDecomposition, error) {
 	machines := MachinesScaled(suite, cacheScale)
-	for i := range machines {
-		machines[i].Obs = obs
+	nm := len(machines)
+	type cell struct {
+		p *workload.Program
+		m Machine
 	}
-	var out []BenchmarkDecomposition
+	tasks := make([]cell, 0, len(progs)*nm)
 	for _, p := range progs {
-		var baseTP units.Cycles
-		stream := p.Stream()
-		benchSpan := obs.Tracer.StartSpan("bench:"+p.Name,
-			map[string]any{"suite": suite.String(), "refs": p.RefCount()})
 		for _, m := range machines {
-			res, err := Decompose(m, stream)
+			tasks = append(tasks, cell{p, m})
+		}
+	}
+	cfg := runner.Config{
+		Workers:  workers,
+		Obs:      obs,
+		TaskName: func(i int) string { return "bench:" + tasks[i].p.Name + "/" + tasks[i].m.Name },
+	}
+	results, err := runner.Map(context.Background(), cfg, len(tasks),
+		func(ctx context.Context, i int, tracer *telemetry.Tracer) (DecomposeResult, error) {
+			t := tasks[i]
+			m := t.m
+			// Metrics and Progress are shared, concurrency-safe hooks; the
+			// tracer is re-based onto this worker's track.
+			m.Obs = telemetry.Observation{Metrics: obs.Metrics, Tracer: tracer, Progress: obs.Progress}
+			// Each cell owns a fresh stream: see the Decompose ownership
+			// rule — sharing one stream across cells is a data race once
+			// cells run concurrently.
+			res, err := Decompose(m, t.p.Stream())
 			if err != nil {
-				benchSpan.End()
-				return nil, fmt.Errorf("%s/%s: %w", p.Name, m.Name, err)
+				return DecomposeResult{}, fmt.Errorf("%s/%s: %w", t.p.Name, m.Name, err)
 			}
+			return res, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return normalizeFigure3(progs, machines, results)
+}
+
+// normalizeFigure3 turns the raw grid results (benchmark-major, machine-
+// minor, matching the task order of Figure3Parallel) into Figure 3 cells
+// normalised to experiment A's processing time T_P. A benchmark with no
+// experiment A result, or one whose T_P is zero, is an explicit error:
+// the historical behaviour of silently emitting NormTime 0 rendered as
+// garbage bars in the plots and tables downstream.
+func normalizeFigure3(progs []*workload.Program, machines []Machine, results []DecomposeResult) ([]BenchmarkDecomposition, error) {
+	nm := len(machines)
+	out := make([]BenchmarkDecomposition, 0, len(results))
+	for bi, p := range progs {
+		var baseTP units.Cycles
+		for mi, m := range machines {
 			if m.Name == "A" {
-				baseTP = res.TP
+				baseTP = results[bi*nm+mi].TP
 			}
-			bd := BenchmarkDecomposition{
+		}
+		if baseTP <= 0 {
+			return nil, fmt.Errorf("core: %s: experiment A missing or zero processing time (T_P=%d); cannot normalise Figure 3", p.Name, baseTP)
+		}
+		for mi, m := range machines {
+			res := results[bi*nm+mi]
+			// Clock changes (experiment F) rescale cycle counts;
+			// normalise in wall-clock terms.
+			scale := float64(machines[0].ClockMHz) / float64(m.ClockMHz)
+			out = append(out, BenchmarkDecomposition{
 				Benchmark:  p.Name,
 				Experiment: m.Name,
 				Result:     res,
-			}
-			if baseTP > 0 {
-				// Clock changes (experiment F) rescale cycle counts;
-				// normalise in wall-clock terms.
-				scale := float64(machines[0].ClockMHz) / float64(m.ClockMHz)
-				bd.NormTime = float64(res.T) * scale / float64(baseTP)
-			}
-			out = append(out, bd)
+				NormTime:   float64(res.T) * scale / float64(baseTP),
+			})
 		}
-		benchSpan.End()
 	}
 	return out, nil
 }

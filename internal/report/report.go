@@ -14,6 +14,7 @@ import (
 	"memwall/internal/core"
 	"memwall/internal/iocomplexity"
 	"memwall/internal/mtc"
+	"memwall/internal/telemetry"
 	"memwall/internal/trace"
 	"memwall/internal/trends"
 	"memwall/internal/workload"
@@ -28,6 +29,10 @@ type Options struct {
 	CacheScale int
 	// SkipTiming omits the (slower) Figure 3 decomposition runs.
 	SkipTiming bool
+	// Workers shards the Figure 3 (benchmark × experiment) grid over a
+	// worker pool (see internal/runner). Values < 1 default to 1, the
+	// serial sweep; results are identical for any worker count.
+	Workers int `json:"-"`
 	// Sizes are the cache sizes for the traffic tables (defaults to the
 	// paper's 1KB-2MB columns).
 	Sizes []int
@@ -39,6 +44,9 @@ func (o *Options) defaults() {
 	}
 	if o.CacheScale < 1 {
 		o.CacheScale = 16
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
 	}
 	if len(o.Sizes) == 0 {
 		o.Sizes = []int{
@@ -223,7 +231,7 @@ func Collect(opts Options) (*Report, error) {
 				}
 				list = append(list, progs[name])
 			}
-			cells, err := core.Figure3(suite, list, opts.CacheScale)
+			cells, err := core.Figure3Parallel(suite, list, opts.CacheScale, telemetry.Observation{}, opts.Workers)
 			if err != nil {
 				return nil, err
 			}

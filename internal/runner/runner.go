@@ -1,0 +1,167 @@
+// Package runner is the deterministic worker pool behind the parallel
+// experiment sweeps: it shards an index grid — in practice the
+// (benchmark × experiment) grid of three-simulation decompositions — over
+// a fixed number of workers while keeping every observable output
+// identical to the serial run.
+//
+// Determinism contract:
+//
+//   - results are collected into a slice indexed by task, so the caller
+//     sees them in task order regardless of which worker finished when;
+//   - each simulation task owns all of its mutable state (most
+//     importantly its instruction stream — see the ownership rule on
+//     core.Decompose), so tasks never race on shared model state;
+//   - Workers == 1 executes tasks inline on the calling goroutine in
+//     index order, reproducing the historical serial path bit-for-bit.
+//
+// Failure contract: the first task error cancels the shared context;
+// workers stop claiming tasks promptly, and Map returns every task error
+// joined with errors.Join in task-index order (so the error text is also
+// schedule-independent for a fixed set of failing tasks).
+//
+// Telemetry: each worker traces on its own Perfetto track
+// (Tracer.WithTID), each task is wrapped in a span named by
+// Config.TaskName, and the shared Observation hooks (Metrics counters,
+// the Progress heartbeat) are safe for concurrent use — see the
+// concurrency notes in internal/telemetry.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"memwall/internal/telemetry"
+)
+
+// Workers resolves a -j flag value: j >= 1 is used as given, anything
+// else (0, negative) selects runtime.GOMAXPROCS(0).
+func Workers(j int) int {
+	if j >= 1 {
+		return j
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Config controls one Map call.
+type Config struct {
+	// Workers is the pool size. Values <= 0 select
+	// runtime.GOMAXPROCS(0); 1 runs every task inline on the calling
+	// goroutine in index order (the bit-for-bit serial path).
+	Workers int
+	// Obs carries the run's telemetry hooks. The Tracer is re-based per
+	// worker with WithTID so concurrent tasks render on separate tracks;
+	// Metrics and Progress are shared (both are concurrency-safe).
+	Obs telemetry.Observation
+	// TaskName, when non-nil, names task i's trace span.
+	TaskName func(i int) string
+}
+
+// Func is one grid task. It receives the task index and a tracer pinned
+// to the executing worker's trace track (nil when tracing is off); any
+// simulation it launches must use state it owns — never a stream shared
+// with another task.
+type Func[T any] func(ctx context.Context, index int, tracer *telemetry.Tracer) (T, error)
+
+// Map runs fn over every index in [0, n) on cfg.Workers goroutines and
+// returns the n results in index order. On task failure the context is
+// cancelled (fail-fast), remaining unclaimed tasks are skipped, and the
+// collected task errors are returned joined in index order. The parent
+// ctx cancels the whole sweep.
+func Map[T any](ctx context.Context, cfg Config, n int, fn Func[T]) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, ctx.Err()
+	}
+	workers := Workers(cfg.Workers)
+	if workers > n {
+		workers = n
+	}
+
+	runTask := func(i int, tracer *telemetry.Tracer) (T, error) {
+		var sp *telemetry.Span
+		if cfg.TaskName != nil {
+			sp = tracer.StartSpan(cfg.TaskName(i), nil)
+		}
+		v, err := fn(ctx, i, tracer)
+		sp.End()
+		return v, err
+	}
+
+	if workers == 1 {
+		// Serial path: identical to the historical single-goroutine sweep
+		// (same task order, same tracer track, fail-fast on first error).
+		tracer := cfg.Obs.Tracer
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			v, err := runTask(i, tracer)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			// Worker 0 keeps the serial track (tid 1); later workers get
+			// their own Perfetto tracks.
+			tracer := cfg.Obs.Tracer.WithTID(worker + 1)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				v, err := runTask(i, tracer)
+				if err != nil {
+					errs[i] = err
+					cancel() // fail fast: stop claiming tasks everywhere
+					return
+				}
+				out[i] = v
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Join task errors in index order so the aggregate message does not
+	// depend on scheduling. Cancellation echoes (tasks that quit because a
+	// peer failed) are reported only when nothing more specific exists.
+	var real, cancels []error
+	for i, e := range errs {
+		if e == nil {
+			continue
+		}
+		if errors.Is(e, context.Canceled) {
+			cancels = append(cancels, e)
+			continue
+		}
+		real = append(real, fmt.Errorf("task %d: %w", i, e))
+	}
+	if len(real) > 0 {
+		return nil, errors.Join(real...)
+	}
+	if len(cancels) > 0 {
+		return nil, cancels[0]
+	}
+	// Our own cancel only fires alongside a recorded task error (handled
+	// above), so a cancelled context here means the parent was cancelled
+	// and some tasks were skipped.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

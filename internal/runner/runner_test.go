@@ -1,0 +1,174 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"memwall/internal/telemetry"
+)
+
+// TestMapOrderedResults runs a grid wide enough to interleave workers and
+// requires results in task-index order — the determinism guarantee every
+// emitted table rests on.
+func TestMapOrderedResults(t *testing.T) {
+	const n = 128
+	for _, j := range []int{1, 2, 8} {
+		out, err := Map(context.Background(), Config{Workers: j}, n,
+			func(ctx context.Context, i int, _ *telemetry.Tracer) (int, error) {
+				runtime.Gosched() // encourage interleaving
+				return i * i, nil
+			})
+		if err != nil {
+			t.Fatalf("j=%d: %v", j, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("j=%d: out[%d] = %d, want %d", j, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestMapParallelMatchesSerial requires the full result slice of a
+// parallel run to equal the serial run exactly.
+func TestMapParallelMatchesSerial(t *testing.T) {
+	run := func(j int) []string {
+		out, err := Map(context.Background(), Config{Workers: j}, 64,
+			func(ctx context.Context, i int, _ *telemetry.Tracer) (string, error) {
+				return fmt.Sprintf("cell-%03d", i), nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if serial, parallel := run(1), run(8); !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("parallel results differ from serial:\n serial:   %v\n parallel: %v", serial, parallel)
+	}
+}
+
+// TestMapFailFast checks that the first failing task cancels the sweep
+// promptly: with every other task blocking on ctx, the number of tasks
+// that ever start stays bounded by the worker count, not the grid size.
+func TestMapFailFast(t *testing.T) {
+	const n, workers = 100, 4
+	var started atomic.Int64
+	boom := errors.New("boom")
+	_, err := Map(context.Background(), Config{Workers: workers}, n,
+		func(ctx context.Context, i int, _ *telemetry.Tracer) (int, error) {
+			started.Add(1)
+			if i == 0 {
+				return 0, boom
+			}
+			<-ctx.Done() // park until the failure cancels the sweep
+			return 0, ctx.Err()
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped %v", err, boom)
+	}
+	if got := started.Load(); got > 2*workers {
+		t.Errorf("%d tasks started after fail-fast; want <= %d", got, 2*workers)
+	}
+}
+
+// TestMapErrorAggregation checks errors.Join reporting in task order when
+// several tasks fail before cancellation lands.
+func TestMapErrorAggregation(t *testing.T) {
+	_, err := Map(context.Background(), Config{Workers: 1}, 4,
+		func(ctx context.Context, i int, _ *telemetry.Tracer) (int, error) {
+			if i == 2 {
+				return 0, fmt.Errorf("cell %d broke", i)
+			}
+			return i, nil
+		})
+	if err == nil || !strings.Contains(err.Error(), "cell 2 broke") {
+		t.Fatalf("serial error = %v, want cell 2 failure", err)
+	}
+	// Parallel: several deterministic failures, joined in index order.
+	_, err = Map(context.Background(), Config{Workers: 8}, 8,
+		func(ctx context.Context, i int, _ *telemetry.Tracer) (int, error) {
+			return 0, fmt.Errorf("cell %d broke", i)
+		})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	first := strings.Index(err.Error(), "cell 0 broke")
+	if first < 0 {
+		t.Fatalf("joined error %q lacks first task's failure", err)
+	}
+}
+
+// TestMapParentCancellation: a cancelled parent context aborts the sweep
+// with its error.
+func TestMapParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, j := range []int{1, 4} {
+		_, err := Map(ctx, Config{Workers: j}, 16,
+			func(ctx context.Context, i int, _ *telemetry.Tracer) (int, error) { return i, nil })
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("j=%d: err = %v, want context.Canceled", j, err)
+		}
+	}
+}
+
+// TestWorkersDefault resolves the -j default.
+func TestWorkersDefault(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(3); got != 3 {
+		t.Errorf("Workers(3) = %d", got)
+	}
+}
+
+// TestMapTaskSpans checks each task gets a span with its TaskName and
+// that worker tracks carry distinct TIDs under parallelism.
+func TestMapTaskSpans(t *testing.T) {
+	var buf bytes.Buffer
+	sink := telemetry.NewEventSink(&buf)
+	obs := telemetry.Observation{Tracer: telemetry.NewTracer(sink)}
+	release := make(chan struct{})
+	var waiting atomic.Int64
+	_, err := Map(context.Background(), Config{
+		Workers:  2,
+		Obs:      obs,
+		TaskName: func(i int) string { return fmt.Sprintf("task:%d", i) },
+	}, 2, func(ctx context.Context, i int, tracer *telemetry.Tracer) (int, error) {
+		// Hold both workers in-flight at once so each claims one task and
+		// the two spans land on different tracks.
+		if waiting.Add(1) == 2 {
+			close(release)
+		}
+		<-release
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]int{} // span name -> tid
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var e telemetry.Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("bad trace line %q: %v", line, err)
+		}
+		names[e.Name] = e.TID
+	}
+	if len(names) != 2 {
+		t.Fatalf("got spans %v, want task:0 and task:1", names)
+	}
+	if names["task:0"] == names["task:1"] {
+		t.Errorf("both tasks on tid %d; want distinct worker tracks", names["task:0"])
+	}
+}

@@ -35,6 +35,24 @@ func (t *Table) AddRowf(cells ...any) {
 	t.rows = append(t.rows, row)
 }
 
+// NonFinite returns a description of every cell that rendered a NaN or
+// an infinity ("row 3 col 6: +Inf"), or nil when the table is clean. A
+// formatted float that divides by an unguarded zero prints as "+Inf",
+// "-Inf", or "NaN" (possibly with a unit suffix, e.g. "+InfM"), so tables
+// built from measured rates can assert their division guards held before
+// emitting.
+func (t *Table) NonFinite() []string {
+	var bad []string
+	for ri, row := range t.rows {
+		for ci, cell := range row {
+			if strings.Contains(cell, "NaN") || strings.Contains(cell, "Inf") {
+				bad = append(bad, fmt.Sprintf("row %d col %d: %s", ri, ci, cell))
+			}
+		}
+	}
+	return bad
+}
+
 // String renders the table.
 func (t *Table) String() string {
 	ncol := len(t.header)

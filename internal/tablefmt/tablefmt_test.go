@@ -1,6 +1,7 @@
 package tablefmt
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -123,5 +124,36 @@ func TestBytes(t *testing.T) {
 		if got := Bytes(c.n); got != c.want {
 			t.Errorf("Bytes(%d) = %q, want %q", c.n, got, c.want)
 		}
+	}
+}
+
+// TestNonFinite: the table-level NaN/Inf assertion behind the profile
+// command's division guards — unguarded rate divisions must be caught
+// before the table is emitted, and guarded ones must pass clean.
+func TestNonFinite(t *testing.T) {
+	tb := New("rates", "exp", "mem-refs/s")
+	zero := 0.0
+	tb.AddRow("A", fmt.Sprintf("%.2fM", 1e6/zero))      // +InfM
+	tb.AddRow("B", fmt.Sprintf("%.2f", zero/zero))      // NaN
+	tb.AddRow("C", fmt.Sprintf("%.2fM", -1e6/zero))     // -InfM
+	tb.AddRow("D", fmt.Sprintf("%.2fM", 42.0/1e-9/1e6)) // guarded: finite
+	bad := tb.NonFinite()
+	if len(bad) != 3 {
+		t.Fatalf("NonFinite = %v, want the three unguarded cells", bad)
+	}
+	for _, b := range bad {
+		if strings.Contains(b, "col 0") {
+			t.Errorf("experiment-name column flagged: %s", b)
+		}
+	}
+
+	clean := New("rates", "exp", "mem-refs/s")
+	wall := 0.0
+	if wall <= 0 {
+		wall = 1e-9 // the cmd_profile clamp
+	}
+	clean.AddRow("A", fmt.Sprintf("%.2fM", 3e6/wall/1e6))
+	if bad := clean.NonFinite(); bad != nil {
+		t.Errorf("guarded division flagged: %v", bad)
 	}
 }

@@ -33,12 +33,16 @@ type Manifest struct {
 	Config any `json:"config,omitempty"`
 
 	// Host and build provenance (not fingerprinted).
-	GoVersion string    `json:"goVersion"`
-	GOOS      string    `json:"goos"`
-	GOARCH    string    `json:"goarch"`
-	NumCPU    int       `json:"numCPU"`
-	Hostname  string    `json:"hostname,omitempty"`
-	Start     time.Time `json:"start"`
+	GoVersion string `json:"goVersion"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"numCPU"`
+	// Workers is the -j worker count the run used. Execution mechanics,
+	// not configuration: parallel sweeps produce byte-identical results
+	// at any worker count, so it must not perturb the fingerprint.
+	Workers  int       `json:"workers,omitempty"`
+	Hostname string    `json:"hostname,omitempty"`
+	Start    time.Time `json:"start"`
 	// WallSeconds is the run's total wall time, filled in at shutdown.
 	WallSeconds float64 `json:"wallSeconds"`
 }

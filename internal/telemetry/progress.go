@@ -15,7 +15,9 @@ import (
 
 // Progress prints simulated-cycles-per-second heartbeats. Simulator loops
 // call Beat every so often (cheaply: Beat rate-limits itself on wall
-// time); a nil *Progress discards beats. It is safe for concurrent use.
+// time); a nil *Progress discards beats. It is safe for concurrent use:
+// parallel sweep workers share one Progress, whose totals then aggregate
+// every worker's deltas into a single heartbeat line.
 type Progress struct {
 	mu         sync.Mutex
 	w          io.Writer

@@ -327,6 +327,13 @@ func (r *Registry) Names() []string {
 // a simulation: the metrics registry, the event tracer, and a progress
 // heartbeat called periodically with (instructions retired, simulated
 // cycles). The zero value disables everything.
+//
+// Every hook is safe to share across concurrent simulations: Registry
+// instruments update via sync/atomic, the Tracer's sink serialises under
+// a mutex, and the Progress heartbeat behind the Progress func locks
+// internally. The parallel runner (internal/runner) hands each worker a
+// copy of the sweep's Observation with only the Tracer rebased (WithTID)
+// so concurrent spans land on separate trace tracks.
 type Observation struct {
 	Metrics  *Registry
 	Tracer   *Tracer

@@ -91,6 +91,12 @@ func (s *EventSink) Close() error {
 // Tracer emits span, instant, and counter events against a sink. A nil
 // *Tracer (or a tracer over a nil sink) discards everything, so tracing
 // calls can stay unconditionally in place.
+//
+// A Tracer is immutable after construction — WithTID returns a new value
+// rather than mutating — and the sink serialises writes, so tracers may
+// be shared and forked freely across goroutines. Concurrent workers
+// should each emit under their own tid (WithTID) so their spans render
+// as separate tracks instead of interleaving on one.
 type Tracer struct {
 	sink *EventSink
 	pid  int
