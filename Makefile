@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench vet fmt lint memlint figures paper selfcheck selfcheck-par profile race clean
+.PHONY: all build test bench bench-json vet fmt lint memlint figures paper selfcheck selfcheck-par profile race clean
 
 all: build test
 
@@ -14,6 +14,14 @@ test:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable before/after benchmark artifact. Runs the paper-artifact
+# benchmarks that the trace corpus accelerates (plus the corpus-neutral
+# Figure 3 pair) at a short -benchtime and converts the output into
+# BENCH_PR4.json: the *NoCorpus/*Corpus pairs become before/after rows
+# with their speedups. CI uploads the file as a build artifact.
+bench-json:
+	$(GO) test -run '^$$' -bench 'Table7|Figure3|MTC' -benchtime 5x . | $(GO) run ./cmd/benchjson | tee BENCH_PR4.json
 
 vet:
 	$(GO) vet ./...
@@ -61,8 +69,8 @@ profile:
 # the go test timeout under the detector's overhead).
 race:
 	$(GO) test -race -short ./...
-	$(GO) test -race -timeout 20m ./internal/runner/... ./internal/telemetry/... ./internal/core/...
-	$(GO) test -race -timeout 20m -run 'ParallelDeterminism|Fig3Output|Table1Output|Table6Output' ./cmd/memwall
+	$(GO) test -race -timeout 20m ./internal/runner/... ./internal/telemetry/... ./internal/core/... ./internal/corpus/...
+	$(GO) test -race -timeout 20m -run 'ParallelDeterminism|CorpusParallelIdentical|Fig3Output|Table1Output|Table6Output' ./cmd/memwall
 
 clean:
 	rm -rf figures test_output.txt bench_output.txt profile_baseline.txt

@@ -1,0 +1,117 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a stable JSON artifact. Benchmarks named <Grid>NoCorpus and
+// <Grid>Corpus are paired into before/after rows with their speedup, so
+// the corpus optimisation's effect is recorded as data, not prose:
+//
+//	go test -run '^$' -bench 'Table7|Figure3|MTC' -benchtime 3x . | benchjson > BENCH_PR4.json
+//
+// The output is deterministic for a given input: results keep first-seen
+// order, repeated runs of one benchmark are averaged, and no timestamps
+// or host details are embedded (CI attaches provenance to the artifact).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line, averaged over repeats.
+type Result struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"nsPerOp"`
+	runs       int
+}
+
+// Pair is a before/after row assembled from <Grid>NoCorpus / <Grid>Corpus.
+type Pair struct {
+	Grid          string  `json:"grid"`
+	BeforeNsPerOp float64 `json:"beforeNsPerOp"`
+	AfterNsPerOp  float64 `json:"afterNsPerOp"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// Artifact is the full JSON document.
+type Artifact struct {
+	Results []*Result `json:"results"`
+	Pairs   []Pair    `json:"pairs"`
+}
+
+// benchLine matches e.g. "BenchmarkMTCGridCorpus-8  3  12345678 ns/op ...".
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s-]+)(?:-\d+)?\s+(\d+)\s+([0-9.]+(?:[eE][-+]?[0-9]+)?) ns/op`)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var order []string
+	byName := map[string]*Result{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return fmt.Errorf("line %q: %w", sc.Text(), err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return fmt.Errorf("line %q: %w", sc.Text(), err)
+		}
+		r := byName[name]
+		if r == nil {
+			r = &Result{Name: name}
+			byName[name] = r
+			order = append(order, name)
+		}
+		// Running average over repeated -count runs.
+		r.NsPerOp = (r.NsPerOp*float64(r.runs) + ns) / float64(r.runs+1)
+		r.runs++
+		r.Iterations += iters
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(order) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin")
+	}
+
+	art := Artifact{Pairs: []Pair{}}
+	for _, name := range order {
+		art.Results = append(art.Results, byName[name])
+	}
+	for _, name := range order {
+		// Pair on the Corpus member so each grid appears once.
+		if !strings.HasSuffix(name, "Corpus") || strings.HasSuffix(name, "NoCorpus") {
+			continue
+		}
+		grid := strings.TrimSuffix(name, "Corpus")
+		before, ok := byName[grid+"NoCorpus"]
+		if !ok {
+			continue
+		}
+		after := byName[name]
+		p := Pair{Grid: grid, BeforeNsPerOp: before.NsPerOp, AfterNsPerOp: after.NsPerOp}
+		if after.NsPerOp > 0 {
+			p.Speedup = before.NsPerOp / after.NsPerOp
+		}
+		art.Pairs = append(art.Pairs, p)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(art)
+}

@@ -8,7 +8,6 @@ import (
 
 	"memwall/internal/core"
 	"memwall/internal/tablefmt"
-	"memwall/internal/workload"
 )
 
 func init() {
@@ -28,7 +27,7 @@ func runBuses(args []string) error {
 		"benchmark", "f_B", "f_B(mem bus)", "f_B(L1/L2 bus)", "interaction")
 	for _, name := range strings.Split(*benchList, ",") {
 		name = strings.TrimSpace(name)
-		p, err := workload.Generate(name, *scale)
+		p, err := corpusProgram(name, *scale)
 		if err != nil {
 			return err
 		}

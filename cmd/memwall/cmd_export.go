@@ -34,6 +34,7 @@ func runExport(args []string) error {
 		CacheScale: *cacheScale,
 		SkipTiming: *skipTiming,
 		Workers:    *workers,
+		Corpus:     activeCorpus(),
 	})
 	if err != nil {
 		return err
@@ -62,7 +63,7 @@ func runFuture(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	p, err := workload.Generate(*bench, *scale)
+	p, err := corpusProgram(*bench, *scale)
 	if err != nil {
 		return err
 	}

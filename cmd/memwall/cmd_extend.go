@@ -19,7 +19,6 @@ import (
 	"memwall/internal/tablefmt"
 	"memwall/internal/trace"
 	"memwall/internal/units"
-	"memwall/internal/workload"
 )
 
 func init() {
@@ -36,7 +35,7 @@ func runCMP(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	p, err := workload.Generate(*bench, *scale)
+	p, err := corpusProgram(*bench, *scale)
 	if err != nil {
 		return err
 	}
@@ -105,11 +104,13 @@ func runAblate(args []string) error {
 		"benchmark", "32B blocks", "4B sector", "write-validate", "MTC", "MTC+clean-pref")
 	for _, name := range strings.Split(*benchList, ",") {
 		name = strings.TrimSpace(name)
-		p, err := workload.Generate(name, *scale)
+		e := corpusEntry(name, *scale)
+		refs, err := e.Refs()
 		if err != nil {
 			return err
 		}
-		refBytes := units.Words(p.RefCount()).Bytes(trace.WordSize)
+		meta, _ := e.Meta()
+		refBytes := units.Words(meta.RefCount).Bytes(trace.WordSize)
 		row := []string{name}
 		for _, cfg := range []cache.Config{
 			{Size: bytes, BlockSize: 32, Assoc: 1},
@@ -120,14 +121,20 @@ func runAblate(args []string) error {
 			if err != nil {
 				return err
 			}
-			st := c.Run(p.MemRefs())
+			st := c.RunRefs(refs)
 			row = append(row, fmt.Sprintf("%.3f", core.TrafficRatio(st.TrafficBytes(), refBytes)))
+		}
+		// Both MTC configs replay the same word-grain future table from the
+		// corpus; only the tie-breaking policy differs.
+		fut, err := e.Future(trace.WordSize)
+		if err != nil {
+			return err
 		}
 		for _, mcfg := range []mtc.Config{
 			{Size: bytes, BlockSize: trace.WordSize, Alloc: mtc.WriteValidate},
 			{Size: bytes, BlockSize: trace.WordSize, Alloc: mtc.WriteValidate, PreferCleanVictims: true},
 		} {
-			st, err := mtc.Simulate(mcfg, p.MemRefs())
+			st, err := mtc.SimulateRefs(mcfg, fut, refs)
 			if err != nil {
 				return err
 			}
@@ -147,7 +154,7 @@ func runAblate(args []string) error {
 	vt := tablefmt.New("Victim-cache timing ablation (machine D)",
 		"benchmark", "cycles", "+victim cache", "speedup", "victim hits")
 	for _, name := range []string{"su2cor", "swm"} {
-		p, err := workload.Generate(name, *scale)
+		p, err := corpusProgram(name, *scale)
 		if err != nil {
 			return err
 		}

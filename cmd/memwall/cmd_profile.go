@@ -11,7 +11,6 @@ import (
 
 	"memwall/internal/core"
 	"memwall/internal/tablefmt"
-	"memwall/internal/workload"
 )
 
 func init() {
@@ -31,7 +30,7 @@ func runProfile(args []string) error {
 	if err != nil {
 		return err
 	}
-	p, err := workload.Generate(*bench, *scale)
+	p, err := corpusProgram(*bench, *scale)
 	if err != nil {
 		return err
 	}

@@ -31,7 +31,7 @@ func runScratchpad(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	p, err := workload.Generate(*bench, *scale)
+	p, err := corpusProgram(*bench, *scale)
 	if err != nil {
 		return err
 	}

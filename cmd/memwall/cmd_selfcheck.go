@@ -75,7 +75,7 @@ func runSelfcheck(args []string) error {
 
 	progs := map[string]*workload.Program{}
 	for _, name := range names {
-		p, err := workload.Generate(name, *scale)
+		p, err := corpusProgram(name, *scale)
 		if err != nil {
 			return err
 		}
@@ -118,15 +118,24 @@ func runSelfcheck(args []string) error {
 		return fmt.Sprintf("selfcheck:min-dominance:%s@%dKB", grid1[i].name, grid1[i].size>>10)
 	}), len(grid1), func(ctx context.Context, i int, _ *telemetry.Tracer) (string, error) {
 		g := grid1[i]
-		p := progs[g.name]
+		// Tasks share one corpus entry per benchmark: the reference slice is
+		// read-only and the word-grain future table is built once, no matter
+		// how many (benchmark, size) cells land on the grid.
+		e := corpusEntry(g.name, *scale)
+		refs, err := e.Refs()
+		if err != nil {
+			return "", err
+		}
 		lru, err := cache.New(cache.Config{Size: g.size, BlockSize: 4, Assoc: 0})
 		if err != nil {
 			return "", err
 		}
-		// Every task builds its own reference streams (p.MemRefs()); the
-		// underlying instruction slice is shared read-only.
-		lt := lru.Run(p.MemRefs()).TrafficBytes()
-		mt, err := mtc.Simulate(mtc.Config{Size: g.size, BlockSize: 4, Alloc: mtc.WriteValidate}, p.MemRefs())
+		lt := lru.RunRefs(refs).TrafficBytes()
+		fut, err := e.Future(4)
+		if err != nil {
+			return "", err
+		}
+		mt, err := mtc.SimulateRefs(mtc.Config{Size: g.size, BlockSize: 4, Alloc: mtc.WriteValidate}, fut, refs)
 		if err != nil {
 			return "", err
 		}
@@ -152,7 +161,10 @@ func runSelfcheck(args []string) error {
 	ladders, err := runner.Map(ctx, pool(func(i int) string {
 		return "selfcheck:lru-inclusion:" + names[i]
 	}), len(names), func(ctx context.Context, i int, _ *telemetry.Tracer) (ladder, error) {
-		p := progs[names[i]]
+		refs, err := corpusEntry(names[i], *scale).Refs()
+		if err != nil {
+			return ladder{}, err
+		}
 		var l ladder
 		var prev int64 = -1
 		for _, size := range []int{4 << 10, 16 << 10, 64 << 10, 256 << 10} {
@@ -160,7 +172,7 @@ func runSelfcheck(args []string) error {
 			if err != nil {
 				return ladder{}, err
 			}
-			cur := c.Run(p.MemRefs()).Misses
+			cur := c.RunRefs(refs).Misses
 			if prev >= 0 && cur > prev {
 				l.failed = append(l.failed, fmt.Sprintf("%s: misses rose %d -> %d at %dKB", names[i], prev, cur, size>>10))
 			} else {
@@ -189,7 +201,11 @@ func runSelfcheck(args []string) error {
 		if err != nil {
 			return "", err
 		}
-		st := c.Run(progs[name].MemRefs())
+		refs, err := corpusEntry(name, *scale).Refs()
+		if err != nil {
+			return "", err
+		}
+		st := c.RunRefs(refs)
 		if st.FetchBytes != units.Blocks(st.Fetches).Bytes(32) || st.Fetches != st.Misses {
 			return name, nil
 		}
@@ -208,6 +224,9 @@ func runSelfcheck(args []string) error {
 		return "selfcheck:determinism:" + replayNames[i]
 	}), len(replayNames), func(ctx context.Context, i int, _ *telemetry.Tracer) (string, error) {
 		name := replayNames[i]
+		// Deliberately bypasses the corpus: this check exists to prove a
+		// fresh generation reproduces what the (possibly cached) corpus
+		// copy produced.
 		a, err := workload.Generate(name, *scale)
 		if err != nil {
 			return "", err

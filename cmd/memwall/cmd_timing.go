@@ -53,7 +53,9 @@ func timingBenchmarks(suite workload.Suite) []string {
 func generateSuite(suite workload.Suite, scale int) ([]*workload.Program, error) {
 	var progs []*workload.Program
 	for _, name := range timingBenchmarks(suite) {
-		p, err := workload.Generate(name, scale)
+		// Programs come from the corpus so fig3/table6 runs in the same
+		// invocation (e.g. `memwall all`) share one generation each.
+		p, err := corpusProgram(name, scale)
 		if err != nil {
 			return nil, err
 		}
@@ -219,7 +221,7 @@ func runTable1(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	p, err := workload.Generate(*bench, *scale)
+	p, err := corpusProgram(*bench, *scale)
 	if err != nil {
 		return err
 	}

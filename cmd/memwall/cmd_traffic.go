@@ -1,6 +1,12 @@
 // Subcommands for the trace-driven traffic studies: Tables 3, 7, 8, 9 and
 // Figure 4, plus the effective-pin-bandwidth calculations of Equations
 // 5 and 7.
+//
+// All of these sweep a (benchmark × configuration) grid over the same
+// reference traces, so they draw the traces from the run-wide corpus:
+// each benchmark materializes once, every configuration replays the
+// shared slice (core.*Refs fast paths), and every MTC configuration
+// replays against the trace's shared future table.
 package main
 
 import (
@@ -10,6 +16,7 @@ import (
 
 	"memwall/internal/cache"
 	"memwall/internal/core"
+	"memwall/internal/corpus"
 	"memwall/internal/mtc"
 	"memwall/internal/tablefmt"
 	"memwall/internal/trace"
@@ -40,7 +47,7 @@ func runTable3(args []string) error {
 	t := tablefmt.New("Table 3: benchmark trace lengths and data sets (surrogates at -scale)",
 		"Benchmark", "suite", "insts (K)", "refs (K)", "data set (KB)")
 	for _, name := range workload.Names() {
-		p, err := workload.Generate(name, *scale)
+		p, err := corpusProgram(name, *scale)
 		if err != nil {
 			return err
 		}
@@ -53,18 +60,19 @@ func runTable3(args []string) error {
 	return nil
 }
 
-// spec92Traces generates the SPEC92 surrogate traces used by the traffic
-// studies (the paper runs Tables 7-9 on SPEC92 only).
-func spec92Traces(scale int) (map[string]*workload.Program, error) {
-	progs := make(map[string]*workload.Program)
+// spec92Traces materializes the SPEC92 surrogate traces used by the
+// traffic studies (the paper runs Tables 7-9 on SPEC92 only) and returns
+// their corpus entries, keyed by benchmark.
+func spec92Traces(scale int) (map[string]*corpus.Entry, error) {
+	entries := make(map[string]*corpus.Entry)
 	for _, name := range workload.SuiteNames(workload.SPEC92) {
-		p, err := workload.Generate(name, scale)
-		if err != nil {
+		e := corpusEntry(name, scale)
+		if _, err := e.Refs(); err != nil {
 			return nil, err
 		}
-		progs[name] = p
+		entries[name] = e
 	}
-	return progs, nil
+	return entries, nil
 }
 
 func runTable7(args []string) error {
@@ -73,7 +81,7 @@ func runTable7(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	progs, err := spec92Traces(*scale)
+	entries, err := spec92Traces(*scale)
 	if err != nil {
 		return err
 	}
@@ -82,18 +90,25 @@ func runTable7(args []string) error {
 		header = append(header, tablefmt.Bytes(int64(sz)))
 	}
 	t := tablefmt.New("Table 7: traffic ratios for 32-byte block, direct-mapped caches", header...)
+	// One measurement per cell; the mean-R statistic below reuses these
+	// results instead of re-simulating the >=64KB columns.
+	results := map[string][]core.RatioResult{}
 	for _, name := range workload.SuiteNames(workload.SPEC92) {
-		p := progs[name]
-		refs := p.RefCount()
+		e := entries[name]
+		meta, err := e.Meta()
+		if err != nil {
+			return err
+		}
 		row := []string{name}
 		for _, sz := range cacheSizes {
 			cfg := cache.Config{Size: sz, BlockSize: 32, Assoc: 1}
-			res, err := core.MeasureRatio(cfg, p.MemRefs(), refs, p.DataSetBytes)
+			res, err := core.MeasureRatioRefs(cfg, e, meta.DataSetBytes)
 			if err != nil {
 				return err
 			}
 			res.Stats.Publish(observation().Metrics,
 				fmt.Sprintf("cache.%s.%s", name, tablefmt.Bytes(int64(sz))))
+			results[name] = append(results[name], res)
 			if res.FitsDataSet {
 				row = append(row, "<<<")
 			} else {
@@ -111,17 +126,15 @@ func runTable7(args []string) error {
 	var sum float64
 	var n int
 	for _, name := range workload.SuiteNames(workload.SPEC92) {
-		p := progs[name]
-		for _, sz := range cacheSizes {
-			if sz < 64<<10 || int64(sz) >= p.DataSetBytes {
+		meta, err := entries[name].Meta()
+		if err != nil {
+			return err
+		}
+		for i, sz := range cacheSizes {
+			if sz < 64<<10 || int64(sz) >= meta.DataSetBytes {
 				continue
 			}
-			cfg := cache.Config{Size: sz, BlockSize: 32, Assoc: 1}
-			res, err := core.MeasureRatio(cfg, p.MemRefs(), p.RefCount(), p.DataSetBytes)
-			if err != nil {
-				return err
-			}
-			sum += res.R
+			sum += results[name][i].R
 			n++
 		}
 	}
@@ -138,7 +151,7 @@ func runTable8(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	progs, err := spec92Traces(*scale)
+	entries, err := spec92Traces(*scale)
 	if err != nil {
 		return err
 	}
@@ -148,11 +161,15 @@ func runTable8(args []string) error {
 	}
 	t := tablefmt.New("Table 8: traffic inefficiencies for 32-byte block, direct-mapped caches", header...)
 	for _, name := range workload.SuiteNames(workload.SPEC92) {
-		p := progs[name]
+		e := entries[name]
+		meta, err := e.Meta()
+		if err != nil {
+			return err
+		}
 		row := []string{name}
 		for _, sz := range cacheSizes {
 			cfg := cache.Config{Size: sz, BlockSize: 32, Assoc: 1}
-			res, err := core.MeasureInefficiency(cfg, p.MemRefs(), p.DataSetBytes)
+			res, err := core.MeasureInefficiencyRefs(cfg, e, meta.DataSetBytes)
 			if err != nil {
 				return err
 			}
@@ -179,7 +196,8 @@ func runFig4(args []string) error {
 	blockSizes := []int{4, 8, 16, 32, 64, 128}
 	for _, name := range strings.Split(*benchList, ",") {
 		name = strings.TrimSpace(name)
-		p, err := workload.Generate(name, *scale)
+		e := corpusEntry(name, *scale)
+		refs, err := e.Refs()
 		if err != nil {
 			return err
 		}
@@ -205,7 +223,7 @@ func runFig4(args []string) error {
 				if err != nil {
 					return err
 				}
-				st := c.Run(p.MemRefs())
+				st := c.RunRefs(refs)
 				kb := float64(st.TrafficBytes()) / 1024
 				row = append(row, fmt.Sprintf("%.0f", kb))
 				xs = append(xs, float64(sz))
@@ -223,8 +241,13 @@ func runFig4(args []string) error {
 		} {
 			row := []string{m.label}
 			var xs, ys []float64
+			// One word-grain future table serves all 12 sizes × 2 policies.
+			fut, err := e.Future(trace.WordSize)
+			if err != nil {
+				return err
+			}
 			for _, sz := range cacheSizes {
-				st, err := mtc.Simulate(mtc.Config{Size: sz, BlockSize: trace.WordSize, Alloc: m.alloc}, p.MemRefs())
+				st, err := mtc.SimulateRefs(mtc.Config{Size: sz, BlockSize: trace.WordSize, Alloc: m.alloc}, fut, refs)
 				if err != nil {
 					return err
 				}
@@ -250,7 +273,7 @@ func runTable9(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	progs, err := spec92Traces(*scale)
+	entries, err := spec92Traces(*scale)
 	if err != nil {
 		return err
 	}
@@ -269,17 +292,25 @@ func runTable9(args []string) error {
 	rows := map[string][]string{}
 	var factorOrder []string
 	for _, name := range names {
-		p := progs[name]
+		e := entries[name]
+		refs, err := e.Refs()
+		if err != nil {
+			return err
+		}
+		fut, err := e.Future(trace.WordSize)
+		if err != nil {
+			return err
+		}
 		size := 64 << 10
 		if name == "espresso" {
 			size = 16 << 10 // the paper shrinks espresso's cache to fit its data set
 		}
-		ref, err := mtc.Simulate(mtc.Config{Size: size, BlockSize: trace.WordSize, Alloc: mtc.WriteValidate}, p.MemRefs())
+		ref, err := mtc.SimulateRefs(mtc.Config{Size: size, BlockSize: trace.WordSize, Alloc: mtc.WriteValidate}, fut, refs)
 		if err != nil {
 			return err
 		}
 		for _, spec := range core.Factors(size) {
-			res, err := core.MeasureFactor(spec, p.MemRefs(), ref.TrafficBytes())
+			res, err := core.MeasureFactorRefs(spec, e, ref.TrafficBytes())
 			if err != nil {
 				return err
 			}
@@ -305,7 +336,7 @@ func runEpin(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	progs, err := spec92Traces(*scale)
+	entries, err := spec92Traces(*scale)
 	if err != nil {
 		return err
 	}
@@ -313,13 +344,17 @@ func runEpin(args []string) error {
 		"Benchmark", "R", "E_pin (MB/s)", "G", "OE_pin (MB/s)")
 	var rs, gs []float64
 	for _, name := range workload.SuiteNames(workload.SPEC92) {
-		p := progs[name]
-		cfg := cache.Config{Size: *size << 10, BlockSize: 32, Assoc: 1}
-		rr, err := core.MeasureRatio(cfg, p.MemRefs(), p.RefCount(), p.DataSetBytes)
+		e := entries[name]
+		meta, err := e.Meta()
 		if err != nil {
 			return err
 		}
-		ir, err := core.MeasureInefficiency(cfg, p.MemRefs(), p.DataSetBytes)
+		cfg := cache.Config{Size: *size << 10, BlockSize: 32, Assoc: 1}
+		rr, err := core.MeasureRatioRefs(cfg, e, meta.DataSetBytes)
+		if err != nil {
+			return err
+		}
+		ir, err := core.MeasureInefficiencyRefs(cfg, e, meta.DataSetBytes)
 		if err != nil {
 			return err
 		}
@@ -336,7 +371,11 @@ func runEpin(args []string) error {
 			if err != nil {
 				return err
 			}
-			ratios = hier.Run(p.MemRefs())
+			s, err := e.Stream()
+			if err != nil {
+				return err
+			}
+			ratios = hier.Run(s)
 		}
 		epin := core.EffectivePinBandwidth(*pinBW, ratios...)
 		oepin := core.OptimalEffectivePinBandwidth(*pinBW, []float64{ir.G}, []float64{rr.R})

@@ -5,10 +5,19 @@
 //	-cpuprofile <file>      write a pprof CPU profile
 //	-memprofile <file>      write a pprof heap profile at exit
 //	-progress               print a sim-cycles/sec heartbeat to stderr
+//	-corpus                 share one trace materialization per benchmark
+//	                        across the whole run (default true; =false to
+//	                        regenerate per grid cell, for debugging)
+//	-corpus-dir <dir>       also persist traces to dir (compact encoding),
+//	                        so later runs skip workload execution
 //
 // They appear before the subcommand's own flags are parsed, so
 // `memwall fig3 -metrics out.json -suite 92` works: splitGlobalFlags
 // peels the telemetry flags off and hands the rest to the command.
+//
+// The corpus flags deliberately stay out of the fingerprinted manifest
+// args: corpus on/off (at any -j) is byte-identical by construction, so
+// it is execution mechanics, not configuration — exactly like -j itself.
 package main
 
 import (
@@ -18,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"memwall/internal/corpus"
 	"memwall/internal/telemetry"
 	"memwall/internal/workload"
 )
@@ -29,6 +39,8 @@ type globalOpts struct {
 	cpuProfile  string
 	memProfile  string
 	progress    bool
+	corpus      bool
+	corpusDir   string
 }
 
 // globalFlagNames maps each global flag to whether it takes a value.
@@ -38,6 +50,8 @@ var globalFlagNames = map[string]bool{
 	"cpuprofile": true,
 	"memprofile": true,
 	"progress":   false,
+	"corpus":     false,
+	"corpus-dir": true,
 }
 
 // splitGlobalFlags extracts the observability flags from args, in any
@@ -45,7 +59,7 @@ var globalFlagNames = map[string]bool{
 // FlagSet. Both "-flag value" and "-flag=value" spellings are accepted,
 // with one or two dashes.
 func splitGlobalFlags(args []string) (globalOpts, []string, error) {
-	var opts globalOpts
+	opts := globalOpts{corpus: true}
 	var rest []string
 	for i := 0; i < len(args); i++ {
 		a := args[i]
@@ -86,6 +100,17 @@ func splitGlobalFlags(args []string) (globalOpts, []string, error) {
 				}
 				opts.progress = b
 			}
+		case "corpus":
+			opts.corpus = true
+			if hasValue {
+				b, err := strconv.ParseBool(value)
+				if err != nil {
+					return opts, nil, fmt.Errorf("flag -corpus: %v", err)
+				}
+				opts.corpus = b
+			}
+		case "corpus-dir":
+			opts.corpusDir = value
 		}
 	}
 	return opts, rest, nil
@@ -98,6 +123,26 @@ var currentObs telemetry.Observation
 
 // observation returns the telemetry hooks for the current invocation.
 func observation() telemetry.Observation { return currentObs }
+
+// currentCorpus is the run-wide trace corpus, set up by runObserved. Nil
+// when -corpus=false: the nil corpus materializes a private entry per Get
+// through the identical code path, so output never depends on the flag.
+var currentCorpus *corpus.Corpus
+
+// activeCorpus returns the invocation's trace corpus (possibly nil).
+func activeCorpus() *corpus.Corpus { return currentCorpus }
+
+// corpusEntry returns the shared (or, corpus disabled, private) trace
+// entry for a benchmark at a scale.
+func corpusEntry(name string, scale int) *corpus.Entry {
+	return activeCorpus().Get(name, scale)
+}
+
+// corpusProgram is the generation path all subcommands share: the entry's
+// program, generated at most once per (benchmark, scale) for the run.
+func corpusProgram(name string, scale int) (*workload.Program, error) {
+	return corpusEntry(name, scale).Program()
+}
 
 // taskObservation re-bases the run-wide observation onto a worker's
 // tracer track for one parallel grid task: metrics and the progress
@@ -212,8 +257,12 @@ func runObserved(name string, rest []string, opts globalOpts, fn func() error) e
 	start := time.Now()
 
 	currentObs = obs
+	if opts.corpus {
+		currentCorpus = corpus.New(corpus.Options{Dir: opts.corpusDir, Metrics: obs.Metrics})
+	}
 	runErr := fn()
 	currentObs = telemetry.Observation{}
+	currentCorpus = nil
 
 	prog.Done()
 	if stopCPU != nil {

@@ -21,6 +21,22 @@
 // provably the only consumer) can be silenced with a
 // //memlint:allow streamlint comment, but the cheap fix — construct the
 // stream inside the goroutine — is almost always the right one.
+//
+// # Corpus immutability
+//
+// The pass also enforces the read-only contract of the trace corpus
+// (memwall/internal/corpus): Entry.Refs hands every caller the same
+// backing array, so writing through it would corrupt every other
+// simulation sharing the trace. Any variable assigned from a call into a
+// CorpusPackages function is treated as corpus-backed, and the pass flags
+//
+//   - element or field writes through it (refs[i] = ..., refs[i].Addr = ...,
+//     refs[i].Addr++),
+//   - copy with it as the destination,
+//   - append to a reslice of it (append(refs[:0], ...)): the corpus caps
+//     the slice it returns, so plain append(refs, ...) must reallocate and
+//     is allowed, but a reslice re-exposes the spare capacity up to that
+//     cap and append would then scribble on the shared array.
 package streamlint
 
 import (
@@ -45,6 +61,13 @@ var SpawnerPackages = []string{
 	"memwall/internal/runner",
 }
 
+// CorpusPackages lists packages (by import-path suffix match) whose
+// functions return slices backed by shared, read-only storage. Tests may
+// override for fixtures.
+var CorpusPackages = []string{
+	"memwall/internal/corpus",
+}
+
 func matches(pkgPath, pat string) bool {
 	return pkgPath == pat ||
 		strings.HasPrefix(pkgPath, pat+"/") ||
@@ -62,12 +85,21 @@ func matchesAny(pkgPath string, pats []string) bool {
 
 func run(pass *analysis.Pass) error {
 	for _, f := range pass.Files {
+		shared := corpusSlices(pass, f)
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.GoStmt:
 				checkGoStmt(pass, n)
 			case *ast.CallExpr:
 				checkSpawnerCall(pass, n)
+				checkCorpusCall(pass, n, shared)
+			case *ast.AssignStmt:
+				checkCorpusAssign(pass, n, shared)
+			case *ast.IncDecStmt:
+				if obj, elem := writeTarget(pass, n.X); elem && shared[obj] {
+					pass.Reportf(n.Pos(),
+						"write through corpus-backed slice %s: corpus traces share one backing array across all callers; copy the slice before mutating it", obj.Name())
+				}
 			}
 			return true
 		})
@@ -157,6 +189,178 @@ func isStream(t types.Type) bool {
 		}
 	}
 	return false
+}
+
+// corpusSlices collects the file's variables that hold corpus-backed
+// slices: any slice-typed variable assigned (or initialised) from a call
+// into a CorpusPackages function. The tracking is per-file and flow
+// insensitive — a deliberately blunt over-approximation, since the fix
+// (copy before mutating) is always safe.
+func corpusSlices(pass *analysis.Pass, f *ast.File) map[types.Object]bool {
+	shared := map[types.Object]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		mark := func(lhs ast.Expr) {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				return
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			v, ok := obj.(*types.Var)
+			if !ok {
+				return
+			}
+			if _, isSlice := v.Type().Underlying().(*types.Slice); isSlice {
+				shared[v] = true
+			}
+		}
+		if len(as.Rhs) == 1 && len(as.Lhs) >= 1 {
+			// refs, err := e.Refs() — a tuple-returning corpus call marks
+			// every slice-typed variable it binds.
+			if isCorpusCall(pass, as.Rhs[0]) {
+				for _, lhs := range as.Lhs {
+					mark(lhs)
+				}
+			}
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i < len(as.Lhs) && isCorpusCall(pass, rhs) {
+				mark(as.Lhs[i])
+			}
+		}
+		return true
+	})
+	return shared
+}
+
+// isCorpusCall reports whether e is a call whose callee is declared in a
+// CorpusPackages package.
+func isCorpusCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return false
+	}
+	obj, ok := pass.TypesInfo.Uses[id]
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	return matchesAny(obj.Pkg().Path(), CorpusPackages)
+}
+
+// writeTarget unwraps an assignment target down to its root identifier.
+// elem is true when the target writes *through* the slice (an element or
+// an element's field) rather than rebinding the variable itself.
+func writeTarget(pass *analysis.Pass, e ast.Expr) (*types.Var, bool) {
+	elem := false
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			elem = true
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			if v, ok := pass.TypesInfo.Uses[x].(*types.Var); ok {
+				return v, elem
+			}
+			return nil, false
+		default:
+			return nil, false
+		}
+	}
+}
+
+// checkCorpusAssign flags element and field writes through corpus-backed
+// slices. Rebinding the variable itself (refs = ...) is fine.
+func checkCorpusAssign(pass *analysis.Pass, as *ast.AssignStmt, shared map[types.Object]bool) {
+	if len(shared) == 0 {
+		return
+	}
+	for _, lhs := range as.Lhs {
+		if obj, elem := writeTarget(pass, lhs); elem && obj != nil && shared[obj] {
+			pass.Reportf(lhs.Pos(),
+				"write through corpus-backed slice %s: corpus traces share one backing array across all callers; copy the slice before mutating it", obj.Name())
+		}
+	}
+}
+
+// checkCorpusCall flags the builtin mutators: copy with a corpus-backed
+// destination, and append to a reslice of a corpus-backed slice. Plain
+// append(refs, ...) is allowed — the corpus caps the slices it hands out,
+// so append has no spare capacity to reuse and must reallocate — but a
+// reslice such as refs[:0] re-exposes capacity up to the cap, and append
+// would then write the shared array.
+func checkCorpusCall(pass *analysis.Pass, call *ast.CallExpr, shared map[types.Object]bool) {
+	if len(shared) == 0 {
+		return
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+		return
+	}
+	switch id.Name {
+	case "copy":
+		if len(call.Args) < 1 {
+			return
+		}
+		if obj := sliceRoot(pass, call.Args[0]); obj != nil && shared[obj] {
+			pass.Reportf(call.Pos(),
+				"copy into corpus-backed slice %s: corpus traces share one backing array across all callers; allocate a private destination instead", obj.Name())
+		}
+	case "append":
+		if len(call.Args) < 1 {
+			return
+		}
+		se, ok := call.Args[0].(*ast.SliceExpr)
+		if !ok {
+			return
+		}
+		if obj := sliceRoot(pass, se.X); obj != nil && shared[obj] {
+			pass.Reportf(call.Pos(),
+				"append to a reslice of corpus-backed slice %s: the reslice re-exposes shared capacity, so append would write the shared backing array; copy the slice instead", obj.Name())
+		}
+	}
+}
+
+// sliceRoot resolves an expression to the variable it slices, seeing
+// through nested reslices and parens.
+func sliceRoot(pass *analysis.Pass, e ast.Expr) *types.Var {
+	for {
+		switch x := e.(type) {
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.Ident:
+			v, _ := pass.TypesInfo.Uses[x].(*types.Var)
+			return v
+		default:
+			return nil
+		}
+	}
 }
 
 func hasCursorPair(t types.Type) bool {

@@ -12,3 +12,10 @@ func TestStreamlint(t *testing.T) {
 	defer func() { SpawnerPackages = old }()
 	analysistest.Run(t, Analyzer, "./testdata/src/streambad", "./testdata/src/streamclean")
 }
+
+func TestCorpusImmutability(t *testing.T) {
+	old := CorpusPackages
+	CorpusPackages = []string{"corpus"}
+	defer func() { CorpusPackages = old }()
+	analysistest.Run(t, Analyzer, "./testdata/src/corpusbad", "./testdata/src/corpusclean")
+}

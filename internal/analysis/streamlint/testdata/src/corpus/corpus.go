@@ -1,0 +1,30 @@
+// Package corpus is the fixture stand-in for memwall/internal/corpus:
+// its Entry hands out capped views of one shared reference slice, exactly
+// like the real corpus. The streamlint test overrides CorpusPackages to
+// point here.
+package corpus
+
+// Ref mirrors trace.Ref's shape for the fixtures.
+type Ref struct {
+	Addr uint64
+	Kind int
+}
+
+// Entry owns one shared trace.
+type Entry struct {
+	refs []Ref
+}
+
+// NewEntry builds an entry over refs.
+func NewEntry(refs []Ref) *Entry { return &Entry{refs: refs} }
+
+// Refs returns the shared, capped, read-only view — the real corpus
+// returns ([]trace.Ref, error) with the same three-index cap.
+func (e *Entry) Refs() ([]Ref, error) {
+	return e.refs[:len(e.refs):len(e.refs)], nil
+}
+
+// Shared is the single-value form, for the non-tuple assignment case.
+func (e *Entry) Shared() []Ref {
+	return e.refs[:len(e.refs):len(e.refs)]
+}

@@ -1,0 +1,45 @@
+// Package corpusbad is the corpus-immutability positive fixture: every
+// way a caller can scribble on the corpus's shared backing array.
+package corpusbad
+
+import (
+	"memwall/internal/analysis/streamlint/testdata/src/corpus"
+)
+
+// ElementWrite overwrites a whole element in place.
+func ElementWrite(e *corpus.Entry) {
+	refs, _ := e.Refs()
+	refs[0] = corpus.Ref{Addr: 1} // want "write through corpus-backed slice refs"
+}
+
+// FieldWrite mutates one field of a shared element.
+func FieldWrite(e *corpus.Entry) {
+	refs, _ := e.Refs()
+	refs[0].Addr = 42 // want "write through corpus-backed slice refs"
+}
+
+// FieldIncrement mutates through an inc/dec statement.
+func FieldIncrement(e *corpus.Entry) {
+	refs, _ := e.Refs()
+	refs[0].Addr++ // want "write through corpus-backed slice refs"
+}
+
+// SingleValueWrite catches the non-tuple accessor too.
+func SingleValueWrite(e *corpus.Entry) {
+	refs := e.Shared()
+	refs[1].Kind = 2 // want "write through corpus-backed slice refs"
+}
+
+// CopyInto uses the shared slice as a copy destination.
+func CopyInto(e *corpus.Entry) {
+	refs, _ := e.Refs()
+	copy(refs, []corpus.Ref{{Addr: 9}}) // want "copy into corpus-backed slice refs"
+}
+
+// AppendReslice re-exposes the shared capacity: the corpus caps what it
+// returns, but refs[:0] still has that cap, so this append writes the
+// shared array instead of reallocating.
+func AppendReslice(e *corpus.Entry) []corpus.Ref {
+	refs, _ := e.Refs()
+	return append(refs[:0], corpus.Ref{Addr: 7}) // want "append to a reslice of corpus-backed slice refs"
+}

@@ -1,0 +1,52 @@
+// Package corpusclean is the corpus-immutability negative fixture: the
+// file has no want comments, so any diagnostic here fails the test.
+package corpusclean
+
+import (
+	"memwall/internal/analysis/streamlint/testdata/src/corpus"
+)
+
+// ReadOnly iterates the shared slice without writing — the intended use.
+func ReadOnly(e *corpus.Entry) uint64 {
+	refs, _ := e.Refs()
+	var sum uint64
+	for _, r := range refs {
+		sum += r.Addr
+	}
+	return sum
+}
+
+// AppendWhole appends to the slice as returned: the corpus caps it, so
+// append must reallocate and the shared array is untouched.
+func AppendWhole(e *corpus.Entry) []corpus.Ref {
+	refs, _ := e.Refs()
+	return append(refs, corpus.Ref{Addr: 1})
+}
+
+// OwnCopy takes a private copy first; writes to the copy are fine, and
+// the corpus slice appears only as a copy *source*.
+func OwnCopy(e *corpus.Entry) []corpus.Ref {
+	refs, _ := e.Refs()
+	own := make([]corpus.Ref, len(refs))
+	copy(own, refs)
+	own[0].Addr = 99
+	return own
+}
+
+// Rebind reassigns the variable itself — no write through the old
+// backing array happens. (The tracking is flow-insensitive, so element
+// writes after a rebind would still be flagged; the rebind alone is not.)
+func Rebind(e *corpus.Entry) []corpus.Ref {
+	refs, _ := e.Refs()
+	refs = []corpus.Ref{{Addr: 3}}
+	return refs
+}
+
+// LocalSlice shows the same operations on a non-corpus slice stay silent.
+func LocalSlice() {
+	local := make([]corpus.Ref, 4)
+	local[0] = corpus.Ref{Addr: 5}
+	local[1].Kind = 1
+	copy(local, local[2:])
+	_ = append(local[:0], corpus.Ref{})
+}

@@ -17,6 +17,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"memwall/internal/stats"
 	"memwall/internal/telemetry"
@@ -369,22 +370,13 @@ func (c *Cache) victim(set []line) int {
 func (c *Cache) evict(set []line, w int, flush bool) {
 	if set[w].present() && set[w].dirty != 0 {
 		c.stats.WriteBacks++
-		c.stats.WriteBackBytes += units.Blocks(popcount(set[w].dirty)).Bytes(c.subSize)
+		c.stats.WriteBackBytes += units.Blocks(bits.OnesCount64(set[w].dirty)).Bytes(c.subSize)
 		if flush {
 			c.stats.FlushWriteBacks++
 		}
 	}
 	set[w].valid = 0
 	set[w].dirty = 0
-}
-
-// popcount returns the number of set bits in x.
-func popcount(x uint64) int {
-	n := 0
-	for ; x != 0; x &= x - 1 {
-		n++
-	}
-	return n
 }
 
 // fill allocates way w for tag. fetchMask selects the sub-blocks loaded
@@ -395,7 +387,7 @@ func (c *Cache) fill(set []line, w int, tag uint64, fetchMask, validMask, dirtyM
 	set[w] = line{tag: tag, valid: validMask, dirty: dirtyMask, lastUse: c.now, allocTime: c.now}
 	if fetchMask != 0 {
 		c.stats.Fetches++
-		c.stats.FetchBytes += units.Blocks(popcount(fetchMask)).Bytes(c.subSize)
+		c.stats.FetchBytes += units.Blocks(bits.OnesCount64(fetchMask)).Bytes(c.subSize)
 	}
 }
 
@@ -517,6 +509,17 @@ func (c *Cache) Run(s trace.Stream) Stats {
 	}
 	c.Flush()
 	s.Reset()
+	return c.stats
+}
+
+// RunRefs replays a materialized trace, flushes, and returns the final
+// statistics. It is the slice fast path of Run: iterating a shared
+// corpus-backed []trace.Ref avoids two interface calls per reference.
+func (c *Cache) RunRefs(refs []trace.Ref) Stats {
+	for _, r := range refs {
+		c.Access(r)
+	}
+	c.Flush()
 	return c.stats
 }
 

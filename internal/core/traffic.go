@@ -50,6 +50,53 @@ func MeasureRatio(cfg cache.Config, s trace.Stream, refs int64, dataSetBytes int
 	}, nil
 }
 
+// RefTrace is a materialized, shareable reference trace: the zero-copy
+// view a corpus entry provides. Refs returns the (read-only) reference
+// slice; Future returns the shared MIN future-knowledge table for a block
+// size. core consumes the interface so the corpus can depend on core-level
+// simulators without a cycle the other way.
+type RefTrace interface {
+	Refs() ([]trace.Ref, error)
+	Future(blockSize int) (*mtc.Future, error)
+}
+
+// sliceTrace adapts a bare []trace.Ref to RefTrace (used by tests and by
+// callers that materialized a trace without a corpus). Future tables are
+// rebuilt per call — no sharing.
+type sliceTrace []trace.Ref
+
+func (s sliceTrace) Refs() ([]trace.Ref, error) { return s, nil }
+func (s sliceTrace) Future(blockSize int) (*mtc.Future, error) {
+	return mtc.FutureOfRefs(s, blockSize)
+}
+
+// TraceOfRefs wraps a materialized reference slice as a RefTrace.
+func TraceOfRefs(refs []trace.Ref) RefTrace { return sliceTrace(refs) }
+
+// MeasureRatioRefs is MeasureRatio over a shared materialized trace: the
+// cache replays the slice directly (no per-reference interface dispatch)
+// and the reference count comes from the trace itself. Byte-identical to
+// MeasureRatio over the same trace.
+func MeasureRatioRefs(cfg cache.Config, tr RefTrace, dataSetBytes int64) (RatioResult, error) {
+	refs, err := tr.Refs()
+	if err != nil {
+		return RatioResult{}, err
+	}
+	c, err := cache.New(cfg)
+	if err != nil {
+		return RatioResult{}, err
+	}
+	st := c.RunRefs(refs)
+	nrefs := int64(len(refs))
+	return RatioResult{
+		Config:      cfg,
+		Stats:       st,
+		Refs:        nrefs,
+		R:           TrafficRatio(st.TrafficBytes(), units.Words(nrefs).Bytes(trace.WordSize)),
+		FitsDataSet: dataSetBytes > 0 && int64(cfg.Size) >= dataSetBytes,
+	}, nil
+}
+
 // EffectivePinBandwidth computes E_pin = B_pin / Π R_i (Equation 5): the
 // pin bandwidth as seen by the processor after the on-chip cache levels
 // filter its traffic.
@@ -125,6 +172,39 @@ func MeasureInefficiency(cfg cache.Config, s trace.Stream, dataSetBytes int64) (
 	}, nil
 }
 
+// MeasureInefficiencyRefs is MeasureInefficiency over a shared
+// materialized trace. The canonical MTC replays against the trace's shared
+// word-grain future table instead of rebuilding future knowledge per call.
+// Byte-identical to MeasureInefficiency over the same trace.
+func MeasureInefficiencyRefs(cfg cache.Config, tr RefTrace, dataSetBytes int64) (InefficiencyResult, error) {
+	refs, err := tr.Refs()
+	if err != nil {
+		return InefficiencyResult{}, err
+	}
+	c, err := cache.New(cfg)
+	if err != nil {
+		return InefficiencyResult{}, err
+	}
+	cst := c.RunRefs(refs)
+	mcfg := mtc.Config{Size: cfg.Size, BlockSize: trace.WordSize, Alloc: mtc.WriteValidate}
+	fut, err := tr.Future(trace.WordSize)
+	if err != nil {
+		return InefficiencyResult{}, err
+	}
+	mst, err := mtc.SimulateRefs(mcfg, fut, refs)
+	if err != nil {
+		return InefficiencyResult{}, err
+	}
+	return InefficiencyResult{
+		CacheConfig:  cfg,
+		MTCConfig:    mcfg,
+		CacheTraffic: cst.TrafficBytes(),
+		MTCTraffic:   mst.TrafficBytes(),
+		G:            Inefficiency(cst.TrafficBytes(), mst.TrafficBytes()),
+		FitsDataSet:  dataSetBytes > 0 && int64(cfg.Size) >= dataSetBytes,
+	}, nil
+}
+
 // FactorSpec is one row of the paper's Table 10: a pair of configurations
 // whose traffic-inefficiency difference isolates one factor.
 type FactorSpec struct {
@@ -155,6 +235,35 @@ func (fc FactorConfig) traffic(s trace.Stream) (units.Bytes, error) {
 		return c.Run(s).TrafficBytes(), nil
 	case fc.MTC != nil:
 		st, err := mtc.Simulate(*fc.MTC, s)
+		if err != nil {
+			return 0, err
+		}
+		return st.TrafficBytes(), nil
+	default:
+		return 0, fmt.Errorf("core: factor config %q selects no simulator", fc.Label)
+	}
+}
+
+// trafficRefs is traffic over a shared materialized trace, using the
+// slice fast paths and the trace's shared future table for MTC runs.
+func (fc FactorConfig) trafficRefs(tr RefTrace) (units.Bytes, error) {
+	refs, err := tr.Refs()
+	if err != nil {
+		return 0, err
+	}
+	switch {
+	case fc.Cache != nil:
+		c, err := cache.New(*fc.Cache)
+		if err != nil {
+			return 0, err
+		}
+		return c.RunRefs(refs).TrafficBytes(), nil
+	case fc.MTC != nil:
+		fut, err := tr.Future(fc.MTC.BlockSize)
+		if err != nil {
+			return 0, err
+		}
+		st, err := mtc.SimulateRefs(*fc.MTC, fut, refs)
 		if err != nil {
 			return 0, err
 		}
@@ -222,6 +331,24 @@ func MeasureFactor(spec FactorSpec, s trace.Stream, refMTC units.Bytes) (FactorR
 		return FactorResult{}, fmt.Errorf("core: factor %s exp1: %w", spec.Name, err)
 	}
 	t2, err := spec.Exp2.traffic(s)
+	if err != nil {
+		return FactorResult{}, fmt.Errorf("core: factor %s exp2: %w", spec.Name, err)
+	}
+	r := FactorResult{Spec: spec, Traffic1: t1, Traffic2: t2}
+	if refMTC > 0 {
+		r.DeltaG = float64(t1-t2) / float64(refMTC)
+	}
+	return r, nil
+}
+
+// MeasureFactorRefs is MeasureFactor over a shared materialized trace.
+// Byte-identical to MeasureFactor over the same trace.
+func MeasureFactorRefs(spec FactorSpec, tr RefTrace, refMTC units.Bytes) (FactorResult, error) {
+	t1, err := spec.Exp1.trafficRefs(tr)
+	if err != nil {
+		return FactorResult{}, fmt.Errorf("core: factor %s exp1: %w", spec.Name, err)
+	}
+	t2, err := spec.Exp2.trafficRefs(tr)
 	if err != nil {
 		return FactorResult{}, fmt.Errorf("core: factor %s exp2: %w", spec.Name, err)
 	}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"memwall/internal/cache"
+	"memwall/internal/trace"
+	"memwall/internal/workload"
+)
+
+// loadRefs materializes one small workload trace for the equality tests.
+func loadRefs(t testing.TB) []trace.Ref {
+	t.Helper()
+	p, err := workload.Generate("espresso", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace.Collect(p.MemRefs())
+}
+
+// TestMeasureRatioRefsMatchesStream pins the corpus fast path to the
+// stream path bit-for-bit: the byte-identical-output guarantee of the
+// corpus rests on these equalities.
+func TestMeasureRatioRefsMatchesStream(t *testing.T) {
+	refs := loadRefs(t)
+	tr := TraceOfRefs(refs)
+	for _, size := range []int{1 << 10, 16 << 10, 256 << 10} {
+		cfg := cache.Config{Size: size, BlockSize: 32, Assoc: 1, Repl: cache.LRU}
+		want, err := MeasureRatio(cfg, trace.NewSliceStream(refs), int64(len(refs)), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := MeasureRatioRefs(cfg, tr, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("size %d: refs path %+v != stream path %+v", size, got, want)
+		}
+	}
+}
+
+func TestMeasureInefficiencyRefsMatchesStream(t *testing.T) {
+	refs := loadRefs(t)
+	tr := TraceOfRefs(refs)
+	for _, size := range []int{4 << 10, 64 << 10} {
+		cfg := cache.Config{Size: size, BlockSize: 32, Assoc: 1, Repl: cache.LRU}
+		want, err := MeasureInefficiency(cfg, trace.NewSliceStream(refs), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := MeasureInefficiencyRefs(cfg, tr, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("size %d: refs path %+v != stream path %+v", size, got, want)
+		}
+	}
+}
+
+func TestMeasureFactorRefsMatchesStream(t *testing.T) {
+	refs := loadRefs(t)
+	tr := TraceOfRefs(refs)
+	const size = 16 << 10
+	// Reference traffic: the canonical write-validate MTC.
+	ref, err := MeasureInefficiency(cache.Config{Size: size, BlockSize: 32, Assoc: 1, Repl: cache.LRU},
+		trace.NewSliceStream(refs), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range Factors(size) {
+		want, err := MeasureFactor(spec, trace.NewSliceStream(refs), ref.MTCTraffic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := MeasureFactorRefs(spec, tr, ref.MTCTraffic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("factor %s: refs path %+v != stream path %+v", spec.Name, got, want)
+		}
+	}
+}

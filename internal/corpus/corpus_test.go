@@ -1,0 +1,370 @@
+package corpus
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"memwall/internal/mtc"
+	"memwall/internal/telemetry"
+	"memwall/internal/trace"
+	"memwall/internal/workload"
+)
+
+// generateRefs is the uncached reference result the corpus must reproduce.
+func generateRefs(t *testing.T, name string, scale int) ([]trace.Ref, *workload.Program) {
+	t.Helper()
+	p, err := workload.Generate(name, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace.Collect(p.MemRefs()), p
+}
+
+func TestGetMatchesGenerate(t *testing.T) {
+	c := New(Options{})
+	e := c.Get("espresso", 1)
+	refs, err := e.Refs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, p := generateRefs(t, "espresso", 1)
+	if !reflect.DeepEqual(refs, want) {
+		t.Fatalf("corpus refs differ from generated refs (%d vs %d)", len(refs), len(want))
+	}
+	meta, err := e.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Suite != p.Suite || meta.DataSetBytes != p.DataSetBytes || meta.RefCount != int64(len(want)) {
+		t.Errorf("meta %+v does not match program (suite %v, %dB, %d refs)",
+			meta, p.Suite, p.DataSetBytes, len(want))
+	}
+}
+
+func TestGetSharesOneMaterialization(t *testing.T) {
+	c := New(Options{})
+	e1, e2 := c.Get("li", 1), c.Get("li", 1)
+	if e1 != e2 {
+		t.Fatal("same key returned distinct entries")
+	}
+	r1, err := e1.Refs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := e2.Refs()
+	if len(r1) == 0 || &r1[0] != &r2[0] {
+		t.Fatal("refs not served from a shared backing array")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestRefsAreAppendSafe(t *testing.T) {
+	c := New(Options{})
+	refs, err := c.Get("li", 1).Refs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap(refs) != len(refs) {
+		t.Fatalf("refs not capped: len %d cap %d", len(refs), cap(refs))
+	}
+	// An append must reallocate, never write shared backing.
+	grown := append(refs, trace.Ref{})
+	if &grown[0] == &refs[0] {
+		t.Fatal("append extended the shared backing array")
+	}
+}
+
+func TestStreamsAreIndependentCursors(t *testing.T) {
+	c := New(Options{})
+	e := c.Get("li", 1)
+	s1, err := e.Stream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := e.Stream()
+	a, _ := s1.Next()
+	b, _ := s1.Next()
+	got, _ := s2.Next()
+	if got != a || got == b {
+		t.Fatal("streams share a cursor")
+	}
+}
+
+func TestDisabledCorpusSameResults(t *testing.T) {
+	var disabled *Corpus
+	e1, e2 := disabled.Get("espresso", 1), disabled.Get("espresso", 1)
+	if e1 == e2 {
+		t.Fatal("disabled corpus cached an entry")
+	}
+	r1, err := e1.Refs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e2.Refs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatal("disabled corpus entries differ")
+	}
+	if disabled.Len() != 0 {
+		t.Fatal("nil corpus has entries")
+	}
+	enabled := New(Options{})
+	r3, err := enabled.Get("espresso", 1).Refs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r3) {
+		t.Fatal("disabled vs enabled corpus refs differ")
+	}
+}
+
+func TestUnknownBenchmark(t *testing.T) {
+	c := New(Options{})
+	e := c.Get("no-such-benchmark", 1)
+	if _, err := e.Refs(); err == nil {
+		t.Error("Refs on unknown benchmark succeeded")
+	}
+	if _, err := e.Meta(); err == nil {
+		t.Error("Meta on unknown benchmark succeeded")
+	}
+	if _, err := e.Future(4); err == nil {
+		t.Error("Future on unknown benchmark succeeded")
+	}
+}
+
+func TestFutureSharedPerBlockSize(t *testing.T) {
+	c := New(Options{})
+	e := c.Get("li", 1)
+	f4a, err := e.Future(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f4b, _ := e.Future(4)
+	if f4a != f4b {
+		t.Fatal("same block size returned distinct future tables")
+	}
+	f32, err := e.Future(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f32 == f4a || f32.BlockSize() != 32 {
+		t.Fatal("block sizes share a future table")
+	}
+	if _, err := e.Future(3); err == nil {
+		t.Error("invalid block size accepted")
+	}
+
+	// The shared table must replay to the same stats as a private one.
+	refs, _ := e.Refs()
+	cfg := mtc.Config{Size: 4096, BlockSize: 4}
+	shared, err := mtc.SimulateRefs(cfg, f4a, refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := mtc.Simulate(cfg, trace.NewSliceStream(refs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared != solo {
+		t.Fatalf("shared-future stats %+v != solo %+v", shared, solo)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := New(Options{Metrics: reg})
+	c.Get("li", 1)
+	c.Get("li", 1)
+	c.Get("espresso", 1)
+	if got := reg.Counter("corpus.misses").Value(); got != 2 {
+		t.Errorf("corpus.misses = %d, want 2", got)
+	}
+	if got := reg.Counter("corpus.hits").Value(); got != 1 {
+		t.Errorf("corpus.hits = %d, want 1", got)
+	}
+	if _, err := c.Get("li", 1).Refs(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("corpus.bytes").Value(); got <= 0 {
+		t.Errorf("corpus.bytes = %d, want > 0", got)
+	}
+}
+
+func TestDiskTierRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	reg := telemetry.NewRegistry()
+
+	// Cold run: generates and warms the tier.
+	cold := New(Options{Dir: dir, Metrics: reg})
+	coldRefs, err := cold.Get("espresso", 1).Refs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldMeta, _ := cold.Get("espresso", 1).Meta()
+	if reg.Counter("corpus.disk.misses").Value() != 1 {
+		t.Fatalf("cold run: disk.misses = %d, want 1", reg.Counter("corpus.disk.misses").Value())
+	}
+	if reg.Counter("corpus.disk.write.bytes").Value() <= 0 {
+		t.Fatal("cold run wrote no tier bytes")
+	}
+
+	// Warm run in a fresh corpus: must load from disk, identically.
+	warmReg := telemetry.NewRegistry()
+	warm := New(Options{Dir: dir, Metrics: warmReg})
+	warmRefs, err := warm.Get("espresso", 1).Refs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(coldRefs, warmRefs) {
+		t.Fatal("warm refs differ from cold refs")
+	}
+	warmMeta, _ := warm.Get("espresso", 1).Meta()
+	if warmMeta != coldMeta {
+		t.Fatalf("warm meta %+v != cold meta %+v", warmMeta, coldMeta)
+	}
+	if warmReg.Counter("corpus.disk.hits").Value() != 1 {
+		t.Fatalf("warm run: disk.hits = %d, want 1", warmReg.Counter("corpus.disk.hits").Value())
+	}
+	if warmReg.Counter("corpus.disk.read.bytes").Value() <= 0 {
+		t.Fatal("warm run read no tier bytes")
+	}
+
+	// The warm entry can still produce the program for timing paths.
+	p, err := warm.Get("espresso", 1).Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "espresso" {
+		t.Fatalf("program name %q", p.Name)
+	}
+}
+
+func TestDiskTierRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	cold := New(Options{Dir: dir})
+	want, err := cold.Get("li", 1).Refs()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncate the trace file; the warm run must fall back to generation.
+	key := Key{Name: "li", Scale: 1}
+	if err := os.WriteFile(tracePath(dir, key), []byte("MWT1garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	warm := New(Options{Dir: dir, Metrics: reg})
+	got, err := warm.Get("li", 1).Refs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("corrupted tier produced wrong refs")
+	}
+	if reg.Counter("corpus.disk.errors").Value() == 0 {
+		t.Error("corruption not counted in corpus.disk.errors")
+	}
+	// And the regeneration must have repaired the tier file.
+	repaired := New(Options{Dir: dir})
+	got2, err := repaired.Get("li", 1).Refs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got2, want) {
+		t.Fatal("repaired tier produced wrong refs")
+	}
+}
+
+func TestDiskTierIgnoresForeignSidecar(t *testing.T) {
+	dir := t.TempDir()
+	// A sidecar claiming a different benchmark under our key's filename.
+	key := Key{Name: "li", Scale: 1}
+	sc := `{"format":1,"name":"espresso","scale":1,"seed":1,"suite":"SPEC92","dataSetBytes":1,"refCount":1}`
+	if err := os.WriteFile(metaPath(dir, key), []byte(sc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	c := New(Options{Dir: dir, Metrics: reg})
+	if _, err := c.Get("li", 1).Refs(); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Counter("corpus.disk.errors").Value() == 0 {
+		t.Error("identity mismatch not counted in corpus.disk.errors")
+	}
+}
+
+func TestDiskTierUnwritableDirIsNonFatal(t *testing.T) {
+	if os.Getuid() == 0 {
+		t.Skip("running as root; directory permissions are not enforced")
+	}
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "ro")
+	if err := os.Mkdir(sub, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	c := New(Options{Dir: sub})
+	if _, err := c.Get("li", 1).Refs(); err != nil {
+		t.Fatalf("unwritable tier broke materialization: %v", err)
+	}
+}
+
+// TestConcurrentGetHammer drives many goroutines through Get/Refs/Future
+// for the same keys under -race: exactly one materialization per key, one
+// future table per (key, block size), and identical views everywhere.
+func TestConcurrentGetHammer(t *testing.T) {
+	c := New(Options{Metrics: telemetry.NewRegistry()})
+	const workers = 16
+	names := []string{"li", "espresso"}
+	type view struct {
+		first *trace.Ref
+		fut   *mtc.Future
+		n     int
+	}
+	views := make([]view, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := names[w%len(names)]
+			e := c.Get(name, 1)
+			refs, err := e.Refs()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			fut, err := e.Future(4)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			// Replay a private cursor over the shared array.
+			s, _ := e.Stream()
+			n := 0
+			for {
+				if _, ok := s.Next(); !ok {
+					break
+				}
+				n++
+			}
+			views[w] = view{first: &refs[0], fut: fut, n: n}
+		}(w)
+	}
+	wg.Wait()
+	for w := range views {
+		base := views[w%len(names)]
+		if views[w].first != base.first || views[w].fut != base.fut || views[w].n != base.n {
+			t.Fatalf("worker %d saw a different view", w)
+		}
+	}
+	if c.Len() != len(names) {
+		t.Fatalf("Len = %d, want %d", c.Len(), len(names))
+	}
+}

@@ -1,0 +1,180 @@
+// The corpus's on-disk tier: materialized traces in the compact delta
+// encoding plus a JSON metadata sidecar, keyed by the telemetry
+// fingerprint of the (benchmark, scale, seed) that produced them. The
+// fingerprint machinery is the same one `-metrics` reports use, so a trace
+// file is valid exactly as long as a run with the same manifest would
+// reproduce it; bumping diskFormat retires every stale file at once.
+//
+// The tier is a cache, not a store of record: any unreadable, mismatched,
+// or unwritable file degrades to a miss (counted in corpus.disk.errors)
+// and the trace is regenerated. Writes go through a temp file + rename so
+// concurrent processes never observe a torn trace.
+package corpus
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"unsafe"
+
+	"memwall/internal/telemetry"
+	"memwall/internal/trace"
+	"memwall/internal/workload"
+)
+
+// refSize is the in-memory footprint of one trace.Ref, for the
+// corpus.bytes counter.
+const refSize = unsafe.Sizeof(trace.Ref{})
+
+// diskFormat versions the on-disk schema (trace encoding + sidecar).
+const diskFormat = 1
+
+// sidecar is the JSON metadata stored next to each compact trace. The
+// identity fields double-check the fingerprint: a hash collision or a
+// stale hand-copied file is rejected by field comparison, not trusted.
+type sidecar struct {
+	Format       int    `json:"format"`
+	Name         string `json:"name"`
+	Scale        int    `json:"scale"`
+	Seed         uint64 `json:"seed"`
+	Suite        string `json:"suite"`
+	DataSetBytes int64  `json:"dataSetBytes"`
+	RefCount     int64  `json:"refCount"`
+}
+
+// diskKey returns the fingerprint naming the tier files for key.
+func diskKey(key Key) string {
+	man := telemetry.Manifest{
+		Tool:    "memwall",
+		Command: "corpus-trace",
+		Args:    []string{key.Name, fmt.Sprintf("v%d", diskFormat)},
+		Seed:    workload.BaseSeed,
+		Scale:   key.Scale,
+	}
+	return man.Fingerprint()
+}
+
+// tracePath and metaPath name the two tier files for key.
+func tracePath(dir string, key Key) string {
+	return filepath.Join(dir, "corpus-"+diskKey(key)[:24]+".mwt")
+}
+
+func metaPath(dir string, key Key) string {
+	return filepath.Join(dir, "corpus-"+diskKey(key)[:24]+".json")
+}
+
+// loadDisk attempts to serve key from the tier. ok=false on any miss,
+// mismatch, or corruption (corruption also counts a disk error).
+func loadDisk(dir string, key Key, ctr counters) ([]trace.Ref, Meta, bool) {
+	mb, err := os.ReadFile(metaPath(dir, key))
+	if err != nil {
+		return nil, Meta{}, false // cold: plain miss
+	}
+	var sc sidecar
+	if err := json.Unmarshal(mb, &sc); err != nil {
+		ctr.diskErrors.Inc()
+		return nil, Meta{}, false
+	}
+	if sc.Format != diskFormat || sc.Name != key.Name || sc.Scale != key.Scale || sc.Seed != workload.BaseSeed {
+		ctr.diskErrors.Inc()
+		return nil, Meta{}, false
+	}
+	f, err := os.Open(tracePath(dir, key))
+	if err != nil {
+		ctr.diskErrors.Inc() // sidecar without trace: inconsistent tier
+		return nil, Meta{}, false
+	}
+	defer f.Close()
+	refs, err := trace.ReadCompact(f)
+	if err != nil || int64(len(refs)) != sc.RefCount {
+		ctr.diskErrors.Inc()
+		return nil, Meta{}, false
+	}
+	if fi, err := f.Stat(); err == nil {
+		ctr.diskReadBytes.Add(fi.Size())
+	}
+	suite := workload.SPEC92
+	if sc.Suite == workload.SPEC95.String() {
+		suite = workload.SPEC95
+	}
+	return refs, Meta{
+		Name:         sc.Name,
+		Scale:        sc.Scale,
+		Suite:        suite,
+		DataSetBytes: sc.DataSetBytes,
+		RefCount:     sc.RefCount,
+	}, true
+}
+
+// storeDisk warms the tier with a freshly materialized trace. Failures are
+// counted, not fatal: a read-only or full corpus directory must not break
+// the run it was meant to speed up.
+func storeDisk(dir string, key Key, refs []trace.Ref, meta Meta, ctr counters) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		ctr.diskErrors.Inc()
+		return
+	}
+	n, err := writeFileAtomic(tracePath(dir, key), func(f *os.File) error {
+		_, err := trace.WriteCompact(f, trace.NewSliceStream(refs))
+		return err
+	})
+	if err != nil {
+		ctr.diskErrors.Inc()
+		return
+	}
+	ctr.diskWriteBytes.Add(n)
+	sc := sidecar{
+		Format:       diskFormat,
+		Name:         meta.Name,
+		Scale:        meta.Scale,
+		Seed:         workload.BaseSeed,
+		Suite:        meta.Suite.String(),
+		DataSetBytes: meta.DataSetBytes,
+		RefCount:     meta.RefCount,
+	}
+	mb, err := json.MarshalIndent(sc, "", "  ")
+	if err != nil {
+		ctr.diskErrors.Inc()
+		return
+	}
+	n, err = writeFileAtomic(metaPath(dir, key), func(f *os.File) error {
+		_, err := f.Write(append(mb, '\n'))
+		return err
+	})
+	if err != nil {
+		ctr.diskErrors.Inc()
+		return
+	}
+	ctr.diskWriteBytes.Add(n)
+}
+
+// writeFileAtomic writes via a temp file in the same directory and renames
+// into place, returning the byte count. Concurrent writers of the same key
+// are all writing identical content, so last-rename-wins is correct.
+func writeFileAtomic(path string, fill func(*os.File) error) (int64, error) {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return 0, err
+	}
+	tmp := f.Name()
+	if err := fill(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	fi, statErr := f.Stat()
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if statErr != nil {
+		os.Remove(tmp)
+		return 0, statErr
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return fi.Size(), nil
+}

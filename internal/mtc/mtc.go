@@ -20,10 +20,14 @@
 // therefore an aggressive bound rather than the exact minimum.
 //
 // The simulation is two-pass in the style of Sugumar & Abraham: the first
-// pass records each block's future reference positions; the second pass
-// replays the trace maintaining residents in an indexed max-heap keyed on
-// next-use time, so the furthest-referenced block (and bypass decisions)
-// are available in O(log n).
+// pass interns block addresses and records each position's next-use time
+// in a dense Future table (see future.go); the second pass replays the
+// trace maintaining residents in an indexed max-heap keyed on next-use
+// time, so the furthest-referenced block (and bypass decisions) are
+// available in O(log n). Because the Future is immutable, one table backs
+// every MTC configuration with the same block size — the multi-size grids
+// of Figure 4 and Tables 8-9 build it once per trace instead of once per
+// cell.
 package mtc
 
 import (
@@ -33,6 +37,9 @@ import (
 	"memwall/internal/trace"
 	"memwall/internal/units"
 )
+
+// never is the next-use time of a block with no future reference.
+const never = math.MaxInt64
 
 // AllocPolicy selects store-miss behaviour.
 type AllocPolicy uint8
@@ -131,14 +138,20 @@ func (s Stats) TrafficBytes() units.Bytes {
 	return s.FetchBytes + s.BypassBytes + s.WriteBackBytes
 }
 
-const never = math.MaxInt64
-
-// entry is a resident block.
+// entry is the per-block residency state, indexed by interned block ID.
+// heapPos is the block's max-heap position plus one, so the zero value
+// (obtained for free from make's memclr) means "not resident".
 type entry struct {
-	block   uint64
-	nextUse int64
+	heapPos int32
 	dirty   bool
-	heapIdx int
+}
+
+// heapElem is one resident block in the eviction heap. The next-use key
+// lives inline so heap compares and swaps touch one contiguous array —
+// no pointer chase, no write barriers, no per-miss allocation.
+type heapElem struct {
+	nextUse int64
+	id      int32
 }
 
 // MTC is the minimal-traffic cache simulator. Because MIN requires future
@@ -147,47 +160,60 @@ type entry struct {
 type MTC struct {
 	cfg      Config
 	capacity int
-	shift    uint
 
-	// future[b] lists the positions (reference indices) at which block b
-	// is referenced; ptr[b] indexes the next unconsumed position.
-	future map[uint64][]int64
-	ptr    map[uint64]int
+	// fut is the trace's future-knowledge table, shared read-only with any
+	// other MTC built over the same trace at the same block size.
+	fut *Future
 
-	resident map[uint64]*entry
-	heap     []*entry // max-heap on nextUse
+	// entries is indexed by interned block ID; a block is resident iff its
+	// heapPos is non-zero.
+	entries []entry
+	heap    []heapElem // max-heap on nextUse
 
 	stats Stats
 }
 
 // New builds an MTC for cfg over the given trace stream. The stream is
-// consumed once to build future-knowledge tables and then reset.
+// consumed once to build the future-knowledge table and then reset. When
+// several configurations share one trace, build the table once with
+// NewFuture (or FutureOfRefs) and use NewWithFuture instead.
 func New(cfg Config, s trace.Stream) (*MTC, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	m := &MTC{
+	f, err := NewFuture(s, cfg.BlockSize)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithFuture(cfg, f)
+}
+
+// NewWithFuture builds an MTC for cfg over a precomputed future table. The
+// table must have been built at cfg.BlockSize over exactly the trace that
+// will later be replayed through Run/RunRefs. The table is only read, so
+// the same Future may back any number of MTCs, concurrently.
+func NewWithFuture(cfg Config, f *Future) (*MTC, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if f == nil {
+		return nil, fmt.Errorf("mtc: nil future table")
+	}
+	if f.blockSize != cfg.BlockSize {
+		return nil, fmt.Errorf("mtc: future table built for %dB blocks, config wants %dB", f.blockSize, cfg.BlockSize)
+	}
+	capacity := cfg.Size / cfg.BlockSize
+	heapCap := capacity
+	if f.numBlocks < heapCap {
+		heapCap = f.numBlocks
+	}
+	return &MTC{
 		cfg:      cfg,
-		capacity: cfg.Size / cfg.BlockSize,
-		future:   make(map[uint64][]int64),
-		ptr:      make(map[uint64]int),
-		resident: make(map[uint64]*entry),
-	}
-	for bs := cfg.BlockSize; bs > 1; bs >>= 1 {
-		m.shift++
-	}
-	var t int64
-	for {
-		r, ok := s.Next()
-		if !ok {
-			break
-		}
-		b := r.Addr >> m.shift
-		m.future[b] = append(m.future[b], t)
-		t++
-	}
-	s.Reset()
-	return m, nil
+		capacity: capacity,
+		fut:      f,
+		entries:  make([]entry, f.numBlocks),
+		heap:     make([]heapElem, 0, heapCap),
+	}, nil
 }
 
 // Stats returns a copy of the accumulated statistics.
@@ -196,8 +222,12 @@ func (m *MTC) Stats() Stats { return m.stats }
 // Config returns the MTC configuration.
 func (m *MTC) Config() Config { return m.cfg }
 
+// Future returns the (shared, read-only) future table the MTC replays
+// against.
+func (m *MTC) Future() *Future { return m.fut }
+
 // Resident returns the number of currently resident blocks.
-func (m *MTC) Resident() int { return len(m.resident) }
+func (m *MTC) Resident() int { return len(m.heap) }
 
 // --- indexed max-heap on nextUse ---
 
@@ -206,17 +236,20 @@ func (m *MTC) heapLess(i, j int) bool {
 	if a.nextUse != b.nextUse {
 		return a.nextUse > b.nextUse
 	}
-	if m.cfg.PreferCleanVictims && a.dirty != b.dirty {
-		// Prefer evicting the clean block on a tie: rank it "larger".
-		return !a.dirty && b.dirty
+	if m.cfg.PreferCleanVictims {
+		ad, bd := m.entries[a.id].dirty, m.entries[b.id].dirty
+		if ad != bd {
+			// Prefer evicting the clean block on a tie: rank it "larger".
+			return !ad && bd
+		}
 	}
 	return false
 }
 
 func (m *MTC) heapSwap(i, j int) {
 	m.heap[i], m.heap[j] = m.heap[j], m.heap[i]
-	m.heap[i].heapIdx = i
-	m.heap[j].heapIdx = j
+	m.entries[m.heap[i].id].heapPos = int32(i) + 1
+	m.entries[m.heap[j].id].heapPos = int32(j) + 1
 }
 
 func (m *MTC) heapUp(i int) {
@@ -249,22 +282,22 @@ func (m *MTC) heapDown(i int) {
 	}
 }
 
-func (m *MTC) heapPush(e *entry) {
-	e.heapIdx = len(m.heap)
-	m.heap = append(m.heap, e)
-	m.heapUp(e.heapIdx)
+func (m *MTC) heapPush(id int32, nextUse int64) {
+	i := len(m.heap)
+	m.heap = append(m.heap, heapElem{nextUse: nextUse, id: id})
+	m.entries[id].heapPos = int32(i) + 1
+	m.heapUp(i)
 }
 
-func (m *MTC) heapFix(e *entry) {
-	i := e.heapIdx
+func (m *MTC) heapFix(i int) {
+	id := m.heap[i].id
 	m.heapUp(i)
-	if e.heapIdx == i {
+	if int(m.entries[id].heapPos)-1 == i {
 		m.heapDown(i)
 	}
 }
 
-func (m *MTC) heapRemove(e *entry) {
-	i := e.heapIdx
+func (m *MTC) heapRemove(i int) {
 	last := len(m.heap) - 1
 	m.heapSwap(i, last)
 	m.heap = m.heap[:last]
@@ -272,67 +305,51 @@ func (m *MTC) heapRemove(e *entry) {
 		m.heapDown(i)
 		m.heapUp(i)
 	}
-	e.heapIdx = -1
 }
 
-// nextUseAfter consumes the current occurrence of block b at time t and
-// returns the position of its next future reference (or never).
-func (m *MTC) nextUseAfter(b uint64, t int64) int64 {
-	occ := m.future[b]
-	p := m.ptr[b]
-	// Advance past the current occurrence.
-	for p < len(occ) && occ[p] <= t {
-		p++
-	}
-	m.ptr[b] = p
-	if p < len(occ) {
-		return occ[p]
-	}
-	return never
-}
-
-func (m *MTC) evict(e *entry, flush bool) {
+func (m *MTC) evict(id int32, flush bool) {
+	e := &m.entries[id]
 	if e.dirty {
 		m.stats.WriteBackBytes += units.Bytes(m.cfg.BlockSize)
 		if flush {
 			m.stats.FlushWriteBacks++
 		}
 	}
-	delete(m.resident, e.block)
-	if e.heapIdx >= 0 {
-		m.heapRemove(e)
-	}
+	m.heapRemove(int(e.heapPos) - 1)
+	e.heapPos = 0
+	e.dirty = false
 }
 
-func (m *MTC) allocate(b uint64, nextUse int64, dirty bool, fetch bool) {
-	e := &entry{block: b, nextUse: nextUse, dirty: dirty}
-	m.resident[b] = e
-	m.heapPush(e)
+func (m *MTC) allocate(id int32, nextUse int64, dirty bool, fetch bool) {
+	m.entries[id].dirty = dirty
+	m.heapPush(id, nextUse)
 	if fetch {
 		m.stats.Fetches++
 		m.stats.FetchBytes += units.Bytes(m.cfg.BlockSize)
 	}
 }
 
-// access simulates the reference at position t.
-func (m *MTC) access(r trace.Ref, t int64) {
+// access simulates the reference at position t. The block identity and
+// next-use time are both array loads from the shared future table — no map
+// lookups on the replay path.
+func (m *MTC) access(isWrite bool, t int) {
 	m.stats.Accesses++
-	isWrite := r.Kind == trace.Write
 	if isWrite {
 		m.stats.Writes++
 	} else {
 		m.stats.Reads++
 	}
-	b := r.Addr >> m.shift
-	nextUse := m.nextUseAfter(b, t)
+	id := m.fut.blockOf[t]
+	nextUse := m.fut.nextUse(t)
 
-	if e, ok := m.resident[b]; ok {
+	if e := &m.entries[id]; e.heapPos != 0 {
 		m.stats.Hits++
-		e.nextUse = nextUse
+		i := int(e.heapPos) - 1
+		m.heap[i].nextUse = nextUse
 		if isWrite {
 			e.dirty = true
 		}
-		m.heapFix(e)
+		m.heapFix(i)
 		return
 	}
 
@@ -342,7 +359,7 @@ func (m *MTC) access(r trace.Ref, t int64) {
 	// Only loads may bypass ("sufficiently low-priority loads can bypass
 	// the cache", Section 5.2); stores always allocate, which is what
 	// makes the write-validate-vs-write-allocate factor visible.
-	if len(m.resident) >= m.capacity {
+	if len(m.heap) >= m.capacity {
 		top := m.heap[0]
 		if !m.cfg.NoBypass && !isWrite && nextUse >= top.nextUse {
 			// The incoming block is (re)used no sooner than everything
@@ -352,41 +369,65 @@ func (m *MTC) access(r trace.Ref, t int64) {
 			m.stats.BypassBytes += trace.WordSize
 			return
 		}
-		m.evict(top, false)
+		m.evict(top.id, false)
 	}
 
 	switch {
 	case !isWrite:
-		m.allocate(b, nextUse, false, true)
+		m.allocate(id, nextUse, false, true)
 	case m.cfg.Alloc == WriteValidate:
 		// Allocate by overwriting with the store data: no fetch.
-		m.allocate(b, nextUse, true, false)
+		m.allocate(id, nextUse, true, false)
 	default: // write-allocate
-		m.allocate(b, nextUse, true, true)
+		m.allocate(id, nextUse, true, true)
+	}
+}
+
+// checkLen panics when the replayed trace is longer than the one the future
+// table was built over — the MIN contract is replay-what-you-ingested, and
+// a silent index error here would be much harder to diagnose.
+func (m *MTC) checkLen(t int) {
+	if t >= m.fut.Len() {
+		panic(fmt.Sprintf("mtc: replayed trace exceeds the %d references the future table was built over; Run must replay the exact trace passed to New/NewFuture", m.fut.Len()))
 	}
 }
 
 // Flush writes back all dirty resident blocks, as at program completion.
 func (m *MTC) Flush() {
 	for len(m.heap) > 0 {
-		m.evict(m.heap[0], true)
+		m.evict(m.heap[0].id, true)
 	}
 }
 
 // Run replays the full trace (the same one passed to New), flushes, resets
 // the stream, and returns the statistics. Run may be called once.
 func (m *MTC) Run(s trace.Stream) Stats {
-	var t int64
+	t := 0
 	for {
 		r, ok := s.Next()
 		if !ok {
 			break
 		}
-		m.access(r, t)
+		m.checkLen(t)
+		m.access(r.Kind == trace.Write, t)
 		t++
 	}
 	m.Flush()
 	s.Reset()
+	return m.stats
+}
+
+// RunRefs replays a materialized trace (the same one the future table was
+// built over), flushes, and returns the statistics. It is the slice fast
+// path of Run: no stream interface dispatch per reference.
+func (m *MTC) RunRefs(refs []trace.Ref) Stats {
+	if len(refs) > 0 {
+		m.checkLen(len(refs) - 1)
+	}
+	for t := range refs {
+		m.access(refs[t].Kind == trace.Write, t)
+	}
+	m.Flush()
 	return m.stats
 }
 
@@ -398,4 +439,16 @@ func Simulate(cfg Config, s trace.Stream) (Stats, error) {
 		return Stats{}, err
 	}
 	return m.Run(s), nil
+}
+
+// SimulateRefs runs cfg over a materialized trace using a shared future
+// table (built by FutureOfRefs/NewFuture at cfg.BlockSize over exactly
+// refs). This is the grid-sweep fast path: the table is built once and
+// every configuration replays against it.
+func SimulateRefs(cfg Config, f *Future, refs []trace.Ref) (Stats, error) {
+	m, err := NewWithFuture(cfg, f)
+	if err != nil {
+		return Stats{}, err
+	}
+	return m.RunRefs(refs), nil
 }

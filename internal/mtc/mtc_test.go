@@ -221,15 +221,8 @@ func TestResidencyNeverExceedsCapacity(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		s := trace.NewSliceStream(refs)
-		var ti int64
-		for {
-			r, ok := s.Next()
-			if !ok {
-				break
-			}
-			m.access(r, ti)
-			ti++
+		for ti, r := range refs {
+			m.access(r.Kind == trace.Write, ti)
 			if m.Resident() > 32 {
 				return false
 			}

@@ -12,6 +12,7 @@ import (
 
 	"memwall/internal/cache"
 	"memwall/internal/core"
+	"memwall/internal/corpus"
 	"memwall/internal/iocomplexity"
 	"memwall/internal/mtc"
 	"memwall/internal/telemetry"
@@ -36,6 +37,11 @@ type Options struct {
 	// Sizes are the cache sizes for the traffic tables (defaults to the
 	// paper's 1KB-2MB columns).
 	Sizes []int
+	// Corpus supplies the shared trace corpus. When nil, Collect builds a
+	// private in-memory corpus for the run — the tables below revisit each
+	// benchmark many times, and regenerating per table would only waste
+	// work without changing a single output byte.
+	Corpus *corpus.Corpus `json:"-"`
 }
 
 func (o *Options) defaults() {
@@ -156,10 +162,18 @@ func Collect(opts Options) (*Report, error) {
 		})
 	}
 
+	// All tables below draw from one corpus: each benchmark's instruction
+	// stream is generated once and its reference trace materialized once,
+	// however many tables revisit it.
+	corp := opts.Corpus
+	if corp == nil {
+		corp = corpus.New(corpus.Options{})
+	}
+
 	// Table 3 (all fourteen workloads).
 	progs := map[string]*workload.Program{}
 	for _, name := range workload.Names() {
-		p, err := workload.Generate(name, opts.Scale)
+		p, err := corp.Get(name, opts.Scale).Program()
 		if err != nil {
 			return nil, err
 		}
@@ -175,12 +189,13 @@ func Collect(opts Options) (*Report, error) {
 
 	// Tables 7 and 8 over SPEC92.
 	for _, name := range workload.SuiteNames(workload.SPEC92) {
-		p := progs[name]
+		e := corp.Get(name, opts.Scale)
+		dataSet := progs[name].DataSetBytes
 		tr := TrafficRow{Benchmark: name}
 		ir := TrafficRow{Benchmark: name}
 		for _, sz := range opts.Sizes {
 			cfg := cache.Config{Size: sz, BlockSize: 32, Assoc: 1}
-			rr, err := core.MeasureRatio(cfg, p.MemRefs(), p.RefCount(), p.DataSetBytes)
+			rr, err := core.MeasureRatioRefs(cfg, e, dataSet)
 			if err != nil {
 				return nil, err
 			}
@@ -189,7 +204,7 @@ func Collect(opts Options) (*Report, error) {
 				ir.Cells = append(ir.Cells, CacheCell{SizeBytes: sz, Fits: true})
 				continue
 			}
-			ie, err := core.MeasureInefficiency(cfg, p.MemRefs(), p.DataSetBytes)
+			ie, err := core.MeasureInefficiencyRefs(cfg, e, dataSet)
 			if err != nil {
 				return nil, err
 			}
@@ -199,20 +214,29 @@ func Collect(opts Options) (*Report, error) {
 		r.Inefficiencies = append(r.Inefficiencies, ir)
 	}
 
-	// Tables 9-10.
+	// Tables 9-10. The word-grain future tables built for Table 8's MTC
+	// runs are reused here via the corpus.
 	for _, name := range workload.SuiteNames(workload.SPEC92) {
-		p := progs[name]
+		e := corp.Get(name, opts.Scale)
+		refs, err := e.Refs()
+		if err != nil {
+			return nil, err
+		}
+		fut, err := e.Future(trace.WordSize)
+		if err != nil {
+			return nil, err
+		}
 		size := 64 << 10
 		if name == "espresso" {
 			size = 16 << 10
 		}
-		ref, err := mtc.Simulate(mtc.Config{Size: size, BlockSize: trace.WordSize, Alloc: mtc.WriteValidate}, p.MemRefs())
+		ref, err := mtc.SimulateRefs(mtc.Config{Size: size, BlockSize: trace.WordSize, Alloc: mtc.WriteValidate}, fut, refs)
 		if err != nil {
 			return nil, err
 		}
 		fr := FactorRow{Benchmark: name, SizeBytes: size, DeltaG: map[string]float64{}}
 		for _, spec := range core.Factors(size) {
-			res, err := core.MeasureFactor(spec, p.MemRefs(), ref.TrafficBytes())
+			res, err := core.MeasureFactorRefs(spec, e, ref.TrafficBytes())
 			if err != nil {
 				return nil, err
 			}
