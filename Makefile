@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-json vet fmt lint memlint figures paper selfcheck selfcheck-par profile race clean
+.PHONY: all build test bench bench-json vet fmt lint memlint figures paper selfcheck selfcheck-par profile race chaos clean
 
 all: build test
 
@@ -71,6 +71,16 @@ race:
 	$(GO) test -race -short ./...
 	$(GO) test -race -timeout 20m ./internal/runner/... ./internal/telemetry/... ./internal/core/... ./internal/corpus/...
 	$(GO) test -race -timeout 20m -run 'ParallelDeterminism|CorpusParallelIdentical|Fig3Output|Table1Output|Table6Output' ./cmd/memwall
+
+# Chaos suite: every injected fault class (short write, ENOSPC, torn
+# rename, bit-flip, worker panic, context cancel) exercised under the race
+# detector — the fault-injection unit tests, the checkpoint ledger's
+# degradation paths, the corpus disk-tier corruption paths, and the CLI
+# kill-and-resume determinism tests (see DESIGN.md §11).
+chaos:
+	$(GO) test -race -timeout 20m ./internal/faultinject/... ./internal/checkpoint/...
+	$(GO) test -race -timeout 20m -run 'Panic|Fault|Checkpoint|Corrupt|Stale|Torn|BitFlip|MidWriteKill|Truncated|FingerprintMismatch|Unwritable' ./internal/runner/... ./internal/corpus/...
+	$(GO) test -race -timeout 20m -run 'KillAndResume|CorruptLedger|FaultSchedule' ./cmd/memwall
 
 clean:
 	rm -rf figures test_output.txt bench_output.txt profile_baseline.txt

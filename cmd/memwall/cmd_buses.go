@@ -20,7 +20,7 @@ func runBuses(args []string) error {
 	cacheScale := cacheScaleFlag(fs)
 	exp := fs.String("exp", "F", "experiment machine (A-F)")
 	benchList := fs.String("bench", "su2cor,swm,compress,eqntott", "comma-separated workloads")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	t := tablefmt.New(fmt.Sprintf("Bandwidth-stall attribution by bus (machine %s)", *exp),

@@ -26,14 +26,18 @@ func runExport(args []string) error {
 	workers := workersFlag(fs)
 	skipTiming := fs.Bool("notiming", false, "skip the Figure 3 timing runs")
 	headline := fs.Bool("headline", false, "emit only the headline summary")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
+	// gridPool threads the run's checkpoint ledger and fault injector into
+	// the Figure 3 grid (Figure3Pool names the cells itself).
+	pool := gridPool(*workers, nil)
 	r, err := report.Collect(report.Options{
 		Scale:      *scale,
 		CacheScale: *cacheScale,
 		SkipTiming: *skipTiming,
 		Workers:    *workers,
+		Pool:       &pool,
 		Corpus:     activeCorpus(),
 	})
 	if err != nil {
@@ -60,7 +64,7 @@ func runFuture(args []string) error {
 	cacheScale := cacheScaleFlag(fs)
 	bench := fs.String("bench", "compress", "workload to project")
 	gens := fs.Int("generations", 3, "processor generations to project")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	p, err := corpusProgram(*bench, *scale)

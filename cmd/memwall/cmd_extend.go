@@ -32,7 +32,7 @@ func runCMP(args []string) error {
 	cacheScale := cacheScaleFlag(fs)
 	bench := fs.String("bench", "swim95", "workload each core runs (disjoint address spaces)")
 	maxCores := fs.Int("cores", 4, "maximum core count to sweep")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	p, err := corpusProgram(*bench, *scale)
@@ -96,7 +96,7 @@ func runAblate(args []string) error {
 	scale := scaleFlag(fs)
 	benchList := fs.String("bench", "compress,eqntott,swm", "comma-separated workloads")
 	size := fs.Int("kb", 64, "cache capacity in KB")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	bytes := *size << 10

@@ -23,7 +23,7 @@ func runProfile(args []string) error {
 	cacheScale := cacheScaleFlag(fs)
 	suiteName := fs.String("suite", "92", "92 or 95")
 	bench := fs.String("bench", "compress", "benchmark to profile on")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	suite, err := parseSuite(*suiteName)

@@ -28,7 +28,7 @@ func runScratchpad(args []string) error {
 	bench := fs.String("bench", "compress", "workload to study")
 	exp := fs.String("exp", "F", "experiment machine (A-F)")
 	budget := fs.Int("kb", 64, "scratchpad capacity budget in KB")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	p, err := corpusProgram(*bench, *scale)

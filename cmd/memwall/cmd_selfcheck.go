@@ -53,7 +53,7 @@ func runSelfcheck(args []string) error {
 	workers := workersFlag(fs)
 	timing := fs.Bool("timing", true, "include the (slower) timing-model checks")
 	benchList := fs.String("benches", "", "comma-separated workload subset to check (default: all)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 
@@ -94,8 +94,11 @@ func runSelfcheck(args []string) error {
 	}
 
 	ctx := context.Background()
+	// gridPool threads the run's checkpoint ledger and fault injector
+	// through every check grid; the per-check labels below double as the
+	// ledger's cell keys.
 	pool := func(label func(i int) string) runner.Config {
-		return runner.Config{Workers: *workers, Obs: observation(), TaskName: label}
+		return gridPool(*workers, label)
 	}
 
 	var results []checkResult
@@ -154,9 +157,11 @@ func runSelfcheck(args []string) error {
 	// LRU size — the inclusion property. The size ladder chains within a
 	// benchmark, so each task walks one benchmark's ladder serially.
 	c2 := checkResult{name: "LRU inclusion (traffic non-increasing with size)"}
+	// Exported fields: a ladder is a checkpointed cell result, so it must
+	// survive the ledger's JSON round-trip intact.
 	type ladder struct {
-		passed int
-		failed []string
+		Passed int
+		Failed []string
 	}
 	ladders, err := runner.Map(ctx, pool(func(i int) string {
 		return "selfcheck:lru-inclusion:" + names[i]
@@ -174,9 +179,9 @@ func runSelfcheck(args []string) error {
 			}
 			cur := c.RunRefs(refs).Misses
 			if prev >= 0 && cur > prev {
-				l.failed = append(l.failed, fmt.Sprintf("%s: misses rose %d -> %d at %dKB", names[i], prev, cur, size>>10))
+				l.Failed = append(l.Failed, fmt.Sprintf("%s: misses rose %d -> %d at %dKB", names[i], prev, cur, size>>10))
 			} else {
-				l.passed++
+				l.Passed++
 			}
 			prev = cur
 		}
@@ -186,8 +191,8 @@ func runSelfcheck(args []string) error {
 		return err
 	}
 	for _, l := range ladders {
-		c2.passed += l.passed
-		c2.failed = append(c2.failed, l.failed...)
+		c2.passed += l.Passed
+		c2.failed = append(c2.failed, l.Failed...)
 	}
 	results = append(results, c2)
 

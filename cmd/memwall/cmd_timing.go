@@ -70,7 +70,7 @@ func runFig3(args []string) error {
 	cacheScale := cacheScaleFlag(fs)
 	workers := workersFlag(fs)
 	suiteName := fs.String("suite", "both", "92, 95, or both")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	suites := []workload.Suite{workload.SPEC92, workload.SPEC95}
@@ -86,7 +86,9 @@ func runFig3(args []string) error {
 		if err != nil {
 			return err
 		}
-		cells, err := core.Figure3Parallel(suite, progs, *cacheScale, observation(), *workers)
+		// gridPool threads the checkpoint ledger and fault injector through;
+		// Figure3Pool names the cells (suite-qualified keys in the ledger).
+		cells, err := core.Figure3Pool(suite, progs, *cacheScale, gridPool(*workers, nil))
 		if err != nil {
 			return err
 		}
@@ -144,7 +146,7 @@ func runTable6(args []string) error {
 	cacheScale := cacheScaleFlag(fs)
 	workers := workersFlag(fs)
 	suiteName := fs.String("suite", "both", "92, 95, or both")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	suites := []workload.Suite{workload.SPEC92, workload.SPEC95}
@@ -169,11 +171,9 @@ func runTable6(args []string) error {
 			tasks = append(tasks, task{suite, p})
 		}
 	}
-	rows, err := runner.Map(context.Background(), runner.Config{
-		Workers:  *workers,
-		Obs:      observation(),
-		TaskName: func(i int) string { return "table6:" + tasks[i].p.Name },
-	}, len(tasks), func(ctx context.Context, i int, tracer *telemetry.Tracer) ([]string, error) {
+	rows, err := runner.Map(context.Background(), gridPool(*workers, func(i int) string {
+		return "table6:" + tasks[i].p.Name
+	}), len(tasks), func(ctx context.Context, i int, tracer *telemetry.Tracer) ([]string, error) {
 		tk := tasks[i]
 		row := []string{tk.p.Name}
 		var fbWins bool
@@ -218,7 +218,7 @@ func runTable1(args []string) error {
 	cacheScale := cacheScaleFlag(fs)
 	workers := workersFlag(fs)
 	bench := fs.String("bench", "su2cor", "benchmark to ablate")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	p, err := corpusProgram(*bench, *scale)
@@ -288,11 +288,9 @@ func runTable1(args []string) error {
 			m.Mem.MemBus.WidthBytes *= 2
 		}},
 	}
-	decomps, err := runner.Map(context.Background(), runner.Config{
-		Workers:  *workers,
-		Obs:      observation(),
-		TaskName: func(i int) string { return "table1:" + variants[i].name },
-	}, len(variants), func(ctx context.Context, i int, tracer *telemetry.Tracer) (core.Decomposition, error) {
+	decomps, err := runner.Map(context.Background(), gridPool(*workers, func(i int) string {
+		return "table1:" + variants[i].name
+	}), len(variants), func(ctx context.Context, i int, tracer *telemetry.Tracer) (core.Decomposition, error) {
 		v := variants[i]
 		m := base
 		v.mut(&m)

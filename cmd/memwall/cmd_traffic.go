@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"strings"
@@ -18,7 +19,9 @@ import (
 	"memwall/internal/core"
 	"memwall/internal/corpus"
 	"memwall/internal/mtc"
+	"memwall/internal/runner"
 	"memwall/internal/tablefmt"
+	"memwall/internal/telemetry"
 	"memwall/internal/trace"
 	"memwall/internal/workload"
 )
@@ -41,7 +44,7 @@ var cacheSizes = []int{
 func runTable3(args []string) error {
 	fs := flag.NewFlagSet("table3", flag.ContinueOnError)
 	scale := scaleFlag(fs)
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	t := tablefmt.New("Table 3: benchmark trace lengths and data sets (surrogates at -scale)",
@@ -78,7 +81,8 @@ func spec92Traces(scale int) (map[string]*corpus.Entry, error) {
 func runTable7(args []string) error {
 	fs := flag.NewFlagSet("table7", flag.ContinueOnError)
 	scale := scaleFlag(fs)
-	if err := fs.Parse(args); err != nil {
+	workers := workersFlag(fs)
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	entries, err := spec92Traces(*scale)
@@ -90,24 +94,45 @@ func runTable7(args []string) error {
 		header = append(header, tablefmt.Bytes(int64(sz)))
 	}
 	t := tablefmt.New("Table 7: traffic ratios for 32-byte block, direct-mapped caches", header...)
-	// One measurement per cell; the mean-R statistic below reuses these
-	// results instead of re-simulating the >=64KB columns.
-	results := map[string][]core.RatioResult{}
-	for _, name := range workload.SuiteNames(workload.SPEC92) {
-		e := entries[name]
+	// One task per benchmark: each walks the full size ladder so a
+	// checkpointed cell is a complete table row. Exported field: the row
+	// must survive the ledger's JSON round-trip.
+	names := workload.SuiteNames(workload.SPEC92)
+	type trafficRow struct {
+		Cells []core.RatioResult
+	}
+	rows, err := runner.Map(context.Background(), gridPool(*workers, func(i int) string {
+		return "table7:" + names[i]
+	}), len(names), func(ctx context.Context, i int, _ *telemetry.Tracer) (trafficRow, error) {
+		e := entries[names[i]]
 		meta, err := e.Meta()
 		if err != nil {
-			return err
+			return trafficRow{}, err
 		}
-		row := []string{name}
+		var row trafficRow
 		for _, sz := range cacheSizes {
 			cfg := cache.Config{Size: sz, BlockSize: 32, Assoc: 1}
 			res, err := core.MeasureRatioRefs(cfg, e, meta.DataSetBytes)
 			if err != nil {
-				return err
+				return trafficRow{}, err
 			}
+			row.Cells = append(row.Cells, res)
+		}
+		return row, nil
+	})
+	if err != nil {
+		return err
+	}
+	// Render — and publish the per-configuration counters — from the
+	// ordered results, outside the pool: a resumed run serves rows from
+	// the ledger without re-simulating, and publishing here keeps its
+	// metrics identical to an uninterrupted run's.
+	results := map[string][]core.RatioResult{}
+	for i, name := range names {
+		row := []string{name}
+		for j, res := range rows[i].Cells {
 			res.Stats.Publish(observation().Metrics,
-				fmt.Sprintf("cache.%s.%s", name, tablefmt.Bytes(int64(sz))))
+				fmt.Sprintf("cache.%s.%s", name, tablefmt.Bytes(int64(cacheSizes[j]))))
 			results[name] = append(results[name], res)
 			if res.FitsDataSet {
 				row = append(row, "<<<")
@@ -148,7 +173,7 @@ func runTable7(args []string) error {
 func runTable8(args []string) error {
 	fs := flag.NewFlagSet("table8", flag.ContinueOnError)
 	scale := scaleFlag(fs)
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	entries, err := spec92Traces(*scale)
@@ -190,7 +215,7 @@ func runFig4(args []string) error {
 	scale := scaleFlag(fs)
 	benchList := fs.String("bench", "compress,eqntott,swm", "comma-separated benchmarks to plot")
 	plot := fs.Bool("plot", true, "render ASCII plots")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	blockSizes := []int{4, 8, 16, 32, 64, 128}
@@ -270,7 +295,7 @@ func runFig4(args []string) error {
 func runTable9(args []string) error {
 	fs := flag.NewFlagSet("table9", flag.ContinueOnError)
 	scale := scaleFlag(fs)
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	entries, err := spec92Traces(*scale)
@@ -333,7 +358,7 @@ func runEpin(args []string) error {
 	pinBW := fs.Float64("pinbw", 1600, "raw pin bandwidth in MB/s (R10000-class package)")
 	size := fs.Int("cachekb", 64, "on-chip L1 size in KB")
 	l2kb := fs.Int("l2kb", 0, "optional on-chip L2 size in KB (0 = single level); Eq. 5 then uses R1*R2")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	entries, err := spec92Traces(*scale)

@@ -21,7 +21,7 @@ func init() {
 func runFig1(args []string) error {
 	fs := flag.NewFlagSet("fig1", flag.ContinueOnError)
 	plot := fs.Bool("plot", true, "render ASCII plots")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	chips := trends.Chips()
@@ -71,7 +71,7 @@ func runTable2(args []string) error {
 	n := fs.Float64("n", 4096, "problem size N for numeric evaluation")
 	s := fs.Float64("s", 65536, "on-chip memory size S (words)")
 	k := fs.Float64("k", 4, "memory growth factor k")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	t := tablefmt.New("Table 2: application growth rates",
@@ -94,7 +94,7 @@ func runFig2(args []string) error {
 	proc := fs.Float64("proc", 0.60, "processor bandwidth growth per year")
 	pin := fs.Float64("pin", 0.25, "off-chip bandwidth growth per year")
 	mem := fs.Float64("mem", 0.55, "on-chip memory growth per year")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	pts := iocomplexity.Figure2(*proc, *pin, *mem)
@@ -122,7 +122,7 @@ func runExtrapolate(args []string) error {
 	pinG := fs.Float64("pingrowth", 0.16, "pin growth per year")
 	perfG := fs.Float64("perfgrowth", 0.60, "sustained performance growth per year")
 	years := fs.Int("years", 10, "years ahead")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	e := trends.Extrapolate(*pins, *pinG, *perfG, *years)

@@ -32,12 +32,77 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"sort"
 )
+
+// The CLI's exit-status taxonomy, so scripts and CI can distinguish
+// failure modes without parsing stderr:
+//
+//	0  success
+//	1  run failure (a simulation cell failed, a panic was recovered, ...)
+//	2  usage error (bad flag, unknown command, malformed -fault-schedule)
+//	3  corruption detected: the run completed with correct output, but a
+//	   corrupted checkpoint ledger or corpus disk file was found and
+//	   regenerated along the way
+
+// usageError marks a command-line mistake; main reports it with exit
+// status 2, distinct from a failed run's 1.
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+func (e usageError) Unwrap() error { return e.err }
+
+// usageErr wraps err as a usage error (nil stays nil).
+func usageErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	return usageError{err: err}
+}
+
+// corruptionNotice is the "completed, but corrupted persisted state was
+// detected and degraded past" outcome behind exit status 3. It is an
+// error only so it can flow through the ordinary return path; the run's
+// output is correct.
+type corruptionNotice struct{ n int64 }
+
+func (e corruptionNotice) Error() string {
+	return fmt.Sprintf("completed, but detected %d corrupted checkpoint/corpus file(s); the results were recomputed and are correct — inspect the cache directories", e.n)
+}
+
+// exitStatus classifies err into the exit-code taxonomy above.
+func exitStatus(err error) int {
+	var ue usageError
+	var cn corruptionNotice
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, flag.ErrHelp) || errors.As(err, &ue):
+		return 2
+	case errors.As(err, &cn):
+		return 3
+	default:
+		return 1
+	}
+}
+
+// parseFlags parses a subcommand's FlagSet, classifying any failure as a
+// usage error so main exits with status 2. -h/-help passes through as
+// flag.ErrHelp (the FlagSet already printed its usage).
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return usageErr(err)
+	}
+	return nil
+}
 
 // command is one CLI subcommand.
 type command struct {
@@ -103,36 +168,38 @@ func main() {
 		os.Exit(2)
 	}
 	name := os.Args[1]
+	var err error
 	if name == "all" {
-		opts, rest, err := splitGlobalFlags(os.Args[2:])
-		if err != nil || len(rest) > 0 {
-			if err == nil {
-				err = fmt.Errorf("unexpected arguments %v", rest)
-			}
-			fmt.Fprintf(os.Stderr, "memwall all: %v\n", err)
-			os.Exit(2)
-		}
-		err = runObserved("all", nil, opts, func() error {
-			for _, n := range allOrder() {
-				if err := dispatch(n, nil); err != nil {
-					return fmt.Errorf("%s: %w", n, err)
-				}
-			}
-			return nil
-		})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "memwall %v\n", err)
-			os.Exit(1)
-		}
-		return
+		err = runAll(os.Args[2:])
+	} else {
+		err = runCommand(name, os.Args[2:])
 	}
-	if err := runCommand(name, os.Args[2:]); err != nil {
-		if err == flag.ErrHelp {
-			os.Exit(2)
+	if err != nil {
+		if !errors.Is(err, flag.ErrHelp) {
+			fmt.Fprintf(os.Stderr, "memwall %s: %v\n", name, err)
 		}
-		fmt.Fprintf(os.Stderr, "memwall %s: %v\n", name, err)
-		os.Exit(1)
+		os.Exit(exitStatus(err))
 	}
+}
+
+// runAll runs every curated command in paper order inside one telemetry
+// envelope (shared corpus, one metrics report, one checkpoint ledger).
+func runAll(args []string) error {
+	opts, rest, err := splitGlobalFlags(args)
+	if err != nil {
+		return usageErr(err)
+	}
+	if len(rest) > 0 {
+		return usageErr(fmt.Errorf("unexpected arguments %v", rest))
+	}
+	return runObserved("all", nil, opts, func() error {
+		for _, n := range allOrder() {
+			if err := dispatch(n, nil); err != nil {
+				return fmt.Errorf("%s: %w", n, err)
+			}
+		}
+		return nil
+	})
 }
 
 func dispatch(name string, args []string) error {
@@ -142,7 +209,7 @@ func dispatch(name string, args []string) error {
 		}
 	}
 	usage()
-	return fmt.Errorf("unknown command %q", name)
+	return usageErr(fmt.Errorf("unknown command %q", name))
 }
 
 // scaleFlag adds the common -scale flag to a FlagSet.

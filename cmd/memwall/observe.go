@@ -10,48 +10,67 @@
 //	                        regenerate per grid cell, for debugging)
 //	-corpus-dir <dir>       also persist traces to dir (compact encoding),
 //	                        so later runs skip workload execution
+//	-checkpoint-dir <dir>   journal each completed grid cell to a per-run
+//	                        ledger keyed by the manifest fingerprint
+//	-resume                 serve completed cells from the ledger instead
+//	                        of recomputing them (requires -checkpoint-dir)
+//	-fault-schedule <s>     arm deterministic fault injection, e.g.
+//	                        "shortwrite@2,panic@5" (see internal/faultinject)
 //
 // They appear before the subcommand's own flags are parsed, so
 // `memwall fig3 -metrics out.json -suite 92` works: splitGlobalFlags
 // peels the telemetry flags off and hands the rest to the command.
 //
-// The corpus flags deliberately stay out of the fingerprinted manifest
-// args: corpus on/off (at any -j) is byte-identical by construction, so
-// it is execution mechanics, not configuration — exactly like -j itself.
+// The corpus, checkpoint, and fault flags deliberately stay out of the
+// fingerprinted manifest args: corpus on/off (at any -j) is byte-identical
+// by construction, a resumed run must map to the same ledger as the run it
+// resumes, and an injected fault changes how a run fails, never what a
+// successful run computes — all execution mechanics, not configuration,
+// exactly like -j itself.
 package main
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
+	"memwall/internal/checkpoint"
 	"memwall/internal/corpus"
+	"memwall/internal/faultinject"
+	"memwall/internal/runner"
 	"memwall/internal/telemetry"
 	"memwall/internal/workload"
 )
 
 // globalOpts are the parsed observability flags.
 type globalOpts struct {
-	metricsPath string
-	eventsPath  string
-	cpuProfile  string
-	memProfile  string
-	progress    bool
-	corpus      bool
-	corpusDir   string
+	metricsPath   string
+	eventsPath    string
+	cpuProfile    string
+	memProfile    string
+	progress      bool
+	corpus        bool
+	corpusDir     string
+	checkpointDir string
+	resume        bool
+	faultSchedule string
 }
 
 // globalFlagNames maps each global flag to whether it takes a value.
 var globalFlagNames = map[string]bool{
-	"metrics":    true,
-	"events":     true,
-	"cpuprofile": true,
-	"memprofile": true,
-	"progress":   false,
-	"corpus":     false,
-	"corpus-dir": true,
+	"metrics":        true,
+	"events":         true,
+	"cpuprofile":     true,
+	"memprofile":     true,
+	"progress":       false,
+	"corpus":         false,
+	"corpus-dir":     true,
+	"checkpoint-dir": true,
+	"resume":         false,
+	"fault-schedule": true,
 }
 
 // splitGlobalFlags extracts the observability flags from args, in any
@@ -111,6 +130,19 @@ func splitGlobalFlags(args []string) (globalOpts, []string, error) {
 			}
 		case "corpus-dir":
 			opts.corpusDir = value
+		case "checkpoint-dir":
+			opts.checkpointDir = value
+		case "resume":
+			opts.resume = true
+			if hasValue {
+				b, err := strconv.ParseBool(value)
+				if err != nil {
+					return opts, nil, fmt.Errorf("flag -resume: %v", err)
+				}
+				opts.resume = b
+			}
+		case "fault-schedule":
+			opts.faultSchedule = value
 		}
 	}
 	return opts, rest, nil
@@ -142,6 +174,40 @@ func corpusEntry(name string, scale int) *corpus.Entry {
 // program, generated at most once per (benchmark, scale) for the run.
 func corpusProgram(name string, scale int) (*workload.Program, error) {
 	return corpusEntry(name, scale).Program()
+}
+
+// currentCheckpoint is the run's cell ledger, opened by runObserved when
+// -checkpoint-dir is given. Nil otherwise: the nil ledger never hits and
+// never records, so grids thread it unconditionally.
+var currentCheckpoint *checkpoint.Ledger
+
+// activeCheckpoint returns the invocation's cell ledger (possibly nil).
+func activeCheckpoint() *checkpoint.Ledger { return currentCheckpoint }
+
+// currentFault is the run's fault injector, armed by -fault-schedule. Nil
+// (the common case) injects nothing.
+var currentFault *faultinject.Injector
+
+// activeFault returns the invocation's fault injector (possibly nil).
+func activeFault() *faultinject.Injector { return currentFault }
+
+// gridPool assembles the runner.Config for a -j grid sweep: the run-wide
+// telemetry hooks plus — when -checkpoint-dir / -fault-schedule are active
+// — the cell ledger and fault injector. taskName keeps each subcommand's
+// historical span naming and doubles as the checkpoint cell key, so every
+// grid that names its tasks is crash-safe for free.
+func gridPool(workers int, taskName func(i int) string) runner.Config {
+	cfg := runner.Config{Workers: workers, Obs: observation(), TaskName: taskName}
+	// Assign only non-nil values: a typed-nil in the interface field would
+	// make the runner JSON-encode every result for a ledger that discards
+	// them.
+	if l := activeCheckpoint(); l != nil {
+		cfg.Checkpoint = l
+	}
+	if in := activeFault(); in != nil {
+		cfg.Fault = in
+	}
+	return cfg
 }
 
 // taskObservation re-bases the run-wide observation onto a worker's
@@ -211,7 +277,7 @@ func stripIntFlag(args []string, name string, def int) (int, []string) {
 func runCommand(name string, args []string) error {
 	opts, rest, err := splitGlobalFlags(args)
 	if err != nil {
-		return err
+		return usageErr(err)
 	}
 	return runObserved(name, rest, opts, func() error {
 		return dispatch(name, rest)
@@ -219,7 +285,19 @@ func runCommand(name string, args []string) error {
 }
 
 // runObserved executes fn inside the telemetry envelope described by opts.
-func runObserved(name string, rest []string, opts globalOpts, fn func() error) error {
+// Teardown runs in a defer, so the sinks flush — and corruption detections
+// surface — on the error path too: a failed run's counters (fault
+// injections, corrupt ledgers, completed cells) are exactly what a
+// post-mortem needs.
+func runObserved(name string, rest []string, opts globalOpts, fn func() error) (runErr error) {
+	inject, err := faultinject.Parse(opts.faultSchedule)
+	if err != nil {
+		return usageErr(err)
+	}
+	if opts.resume && opts.checkpointDir == "" {
+		return usageErr(errors.New("-resume needs -checkpoint-dir (nowhere to resume from)"))
+	}
+
 	var obs telemetry.Observation
 	var sink *telemetry.EventSink
 	var prog *telemetry.Progress
@@ -256,33 +334,69 @@ func runObserved(name string, rest []string, opts globalOpts, fn func() error) e
 	man.Workers = workers
 	start := time.Now()
 
-	currentObs = obs
-	if opts.corpus {
-		currentCorpus = corpus.New(corpus.Options{Dir: opts.corpusDir, Metrics: obs.Metrics})
-	}
-	runErr := fn()
-	currentObs = telemetry.Observation{}
-	currentCorpus = nil
+	// Every persistence path — corpus disk tier and checkpoint ledger —
+	// goes through the injector-wrapped filesystem, so one -fault-schedule
+	// exercises them all. A nil injector wraps to the plain OS.
+	inject.Bind(obs.Metrics)
+	fsys := inject.Wrap(faultinject.OS())
 
-	prog.Done()
-	if stopCPU != nil {
-		stopCPU()
-	}
-	if opts.memProfile != "" {
-		if err := telemetry.WriteHeapProfile(opts.memProfile); err != nil && runErr == nil {
-			runErr = err
+	var ledger *checkpoint.Ledger
+	if opts.checkpointDir != "" {
+		l, err := checkpoint.Open(checkpoint.Options{
+			Dir:         opts.checkpointDir,
+			Fingerprint: man.Fingerprint(),
+			Resume:      opts.resume,
+			FS:          fsys,
+			Metrics:     obs.Metrics,
+		})
+		if err != nil {
+			return err
 		}
+		ledger = l
 	}
-	if sink != nil {
-		if err := sink.Close(); err != nil && runErr == nil {
-			runErr = err
+
+	var corp *corpus.Corpus
+	if opts.corpus {
+		corp = corpus.New(corpus.Options{Dir: opts.corpusDir, Metrics: obs.Metrics, FS: fsys})
+	}
+
+	currentObs = obs
+	currentCorpus = corp
+	currentCheckpoint = ledger
+	currentFault = inject
+
+	defer func() {
+		currentObs = telemetry.Observation{}
+		currentCorpus = nil
+		currentCheckpoint = nil
+		currentFault = nil
+
+		prog.Done()
+		if stopCPU != nil {
+			stopCPU()
 		}
-	}
-	if opts.metricsPath != "" && runErr == nil {
-		man.WallSeconds = time.Since(start).Seconds()
-		if err := telemetry.NewReport(man, obs.Metrics).WriteFile(opts.metricsPath); err != nil {
-			runErr = err
+		if opts.memProfile != "" {
+			if err := telemetry.WriteHeapProfile(opts.memProfile); err != nil && runErr == nil {
+				runErr = err
+			}
 		}
-	}
-	return runErr
+		if sink != nil {
+			if err := sink.Close(); err != nil && runErr == nil {
+				runErr = err
+			}
+		}
+		if opts.metricsPath != "" {
+			man.WallSeconds = time.Since(start).Seconds()
+			if err := telemetry.NewReport(man, obs.Metrics).WriteFile(opts.metricsPath); err != nil && runErr == nil {
+				runErr = err
+			}
+		}
+		// A run that succeeded by recomputing past corrupted persisted
+		// state still exits 0-correct but 3-loud: the output is right, the
+		// disk deserves a look.
+		if n := ledger.Corruptions() + corp.DiskCorruptions(); n > 0 && runErr == nil {
+			runErr = corruptionNotice{n: n}
+		}
+	}()
+	return fn()
 }

@@ -37,6 +37,18 @@
 //     the slice it returns, so plain append(refs, ...) must reallocate and
 //     is allowed, but a reslice re-exposes the spare capacity up to that
 //     cap and append would then scribble on the shared array.
+//
+// # Atomic-write discipline
+//
+// The pass also enforces the persistence tiers' crash-safety contract:
+// inside AtomicWritePackages (memwall/internal/corpus and
+// memwall/internal/checkpoint) every file write must flow through
+// faultinject.WriteAtomic on the faultinject.FS seam. A direct call to
+// os.WriteFile, os.Create, os.OpenFile, os.CreateTemp, or os.Rename in
+// those packages bypasses both the temp-file + rename atomicity (a crash
+// could leave a torn file that a reader then trusts) and the fault
+// injector (the bypassing write is invisible to chaos tests), so each is
+// flagged.
 package streamlint
 
 import (
@@ -68,6 +80,25 @@ var CorpusPackages = []string{
 	"memwall/internal/corpus",
 }
 
+// AtomicWritePackages lists the persistence packages whose file writes
+// must go through faultinject.WriteAtomic on the faultinject.FS seam.
+// Tests may override for fixtures.
+var AtomicWritePackages = []string{
+	"memwall/internal/corpus",
+	"memwall/internal/checkpoint",
+}
+
+// atomicWriteBanned maps the os functions that write or move files —
+// and so bypass both the atomic-rename discipline and the fault
+// injector — to the seam API each should use instead.
+var atomicWriteBanned = map[string]string{
+	"WriteFile":  "faultinject.WriteAtomic",
+	"Create":     "faultinject.WriteAtomic",
+	"OpenFile":   "faultinject.WriteAtomic",
+	"CreateTemp": "faultinject.WriteAtomic",
+	"Rename":     "FS.Rename via faultinject.WriteAtomic",
+}
+
 func matches(pkgPath, pat string) bool {
 	return pkgPath == pat ||
 		strings.HasPrefix(pkgPath, pat+"/") ||
@@ -84,6 +115,7 @@ func matchesAny(pkgPath string, pats []string) bool {
 }
 
 func run(pass *analysis.Pass) error {
+	persistence := pass.Pkg != nil && matchesAny(pass.Pkg.Path(), AtomicWritePackages)
 	for _, f := range pass.Files {
 		shared := corpusSlices(pass, f)
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -93,6 +125,9 @@ func run(pass *analysis.Pass) error {
 			case *ast.CallExpr:
 				checkSpawnerCall(pass, n)
 				checkCorpusCall(pass, n, shared)
+				if persistence {
+					checkAtomicWrite(pass, n)
+				}
 			case *ast.AssignStmt:
 				checkCorpusAssign(pass, n, shared)
 			case *ast.IncDecStmt:
@@ -105,6 +140,26 @@ func run(pass *analysis.Pass) error {
 		})
 	}
 	return nil
+}
+
+// checkAtomicWrite flags direct package-os file writes inside a
+// persistence package (AtomicWritePackages), where every write must flow
+// through faultinject.WriteAtomic on the FS seam.
+func checkAtomicWrite(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel]
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "os" {
+		return
+	}
+	want, banned := atomicWriteBanned[obj.Name()]
+	if !banned {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"direct os.%s in a persistence package bypasses the atomic-write discipline (and the fault injector); use %s instead", obj.Name(), want)
 }
 
 // checkGoStmt flags streams crossing the goroutine boundary of a go

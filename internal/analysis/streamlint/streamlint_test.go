@@ -19,3 +19,10 @@ func TestCorpusImmutability(t *testing.T) {
 	defer func() { CorpusPackages = old }()
 	analysistest.Run(t, Analyzer, "./testdata/src/corpusbad", "./testdata/src/corpusclean")
 }
+
+func TestAtomicWriteDiscipline(t *testing.T) {
+	old := AtomicWritePackages
+	AtomicWritePackages = []string{"atomicbad", "atomicclean"}
+	defer func() { AtomicWritePackages = old }()
+	analysistest.Run(t, Analyzer, "./testdata/src/atomicbad", "./testdata/src/atomicclean")
+}

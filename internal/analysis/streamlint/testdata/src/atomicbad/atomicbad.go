@@ -1,0 +1,34 @@
+// Package atomicbad is the atomic-write positive fixture: every direct
+// package-os write that bypasses faultinject.WriteAtomic inside a
+// persistence package. The streamlint test overrides AtomicWritePackages
+// to point here.
+package atomicbad
+
+import "os"
+
+// DirectWriteFile clobbers the destination in place: a crash mid-write
+// leaves a torn file.
+func DirectWriteFile(path string, b []byte) error {
+	return os.WriteFile(path, b, 0o644) // want "direct os.WriteFile in a persistence package"
+}
+
+// DirectCreate truncates the destination before writing.
+func DirectCreate(path string) (*os.File, error) {
+	return os.Create(path) // want "direct os.Create in a persistence package"
+}
+
+// DirectOpenFile opens for writing without the temp-file discipline.
+func DirectOpenFile(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644) // want "direct os.OpenFile in a persistence package"
+}
+
+// DirectCreateTemp builds a bespoke temp file outside the seam, invisible
+// to the fault injector.
+func DirectCreateTemp(dir string) (*os.File, error) {
+	return os.CreateTemp(dir, "x*") // want "direct os.CreateTemp in a persistence package"
+}
+
+// DirectRename moves a file around the FS seam.
+func DirectRename(old, new string) error {
+	return os.Rename(old, new) // want "direct os.Rename in a persistence package"
+}

@@ -1,0 +1,41 @@
+// Package atomicclean is the atomic-write negative fixture: the I/O a
+// persistence package is allowed to do directly (reads, removals,
+// directory creation), the seam-based write path, and the pragma escape
+// hatch. No diagnostics expected.
+package atomicclean
+
+import (
+	"io"
+	"os"
+
+	"memwall/internal/faultinject"
+)
+
+// SeamWrite is the sanctioned write path: WriteAtomic over an FS.
+func SeamWrite(fsys faultinject.FS, path string, b []byte) (int64, error) {
+	return faultinject.WriteAtomic(fsys, path, func(w io.Writer) error {
+		_, err := w.Write(b)
+		return err
+	})
+}
+
+// ReadsAreFine: reading never tears anything.
+func ReadsAreFine(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+// RemovalsAreFine: removal is how failed writes clean up.
+func RemovalsAreFine(path string) error {
+	return os.Remove(path)
+}
+
+// DirsAreFine: MkdirAll is idempotent and crash-safe already.
+func DirsAreFine(dir string) error {
+	return os.MkdirAll(dir, 0o755)
+}
+
+// Suppressed shows the escape hatch for a deliberate violation.
+func Suppressed(path string, b []byte) error {
+	//memlint:allow streamlint fixture: deliberate direct write
+	return os.WriteFile(path, b, 0o644)
+}

@@ -189,6 +189,17 @@ func Figure3Observed(suite workload.Suite, progs []*workload.Program, cacheScale
 // time is unavailable or zero is an explicit error rather than a silent
 // NormTime of 0 (which rendered as garbage bars in plots and tables).
 func Figure3Parallel(suite workload.Suite, progs []*workload.Program, cacheScale int, obs telemetry.Observation, workers int) ([]BenchmarkDecomposition, error) {
+	return Figure3Pool(suite, progs, cacheScale, runner.Config{Workers: workers, Obs: obs})
+}
+
+// Figure3Pool is Figure3Parallel with the caller supplying the full pool
+// configuration — in particular the checkpoint ledger and fault injector
+// of a crash-safe CLI run (see cmd/memwall's -checkpoint-dir and
+// -fault-schedule). The task naming is fixed here: spans keep the
+// historical "bench:<name>/<exp>" form, while checkpoint cell keys are
+// additionally qualified by the suite, so the SPEC92 and SPEC95 grids of
+// one invocation can never collide in the ledger.
+func Figure3Pool(suite workload.Suite, progs []*workload.Program, cacheScale int, pool runner.Config) ([]BenchmarkDecomposition, error) {
 	machines := MachinesScaled(suite, cacheScale)
 	nm := len(machines)
 	type cell struct {
@@ -201,12 +212,12 @@ func Figure3Parallel(suite workload.Suite, progs []*workload.Program, cacheScale
 			tasks = append(tasks, cell{p, m})
 		}
 	}
-	cfg := runner.Config{
-		Workers:  workers,
-		Obs:      obs,
-		TaskName: func(i int) string { return "bench:" + tasks[i].p.Name + "/" + tasks[i].m.Name },
+	obs := pool.Obs
+	pool.TaskName = func(i int) string { return "bench:" + tasks[i].p.Name + "/" + tasks[i].m.Name }
+	pool.CellKey = func(i int) string {
+		return "fig3:" + suite.String() + ":" + tasks[i].p.Name + "/" + tasks[i].m.Name
 	}
-	results, err := runner.Map(context.Background(), cfg, len(tasks),
+	results, err := runner.Map(context.Background(), pool, len(tasks),
 		func(ctx context.Context, i int, tracer *telemetry.Tracer) (DecomposeResult, error) {
 			t := tasks[i]
 			m := t.m

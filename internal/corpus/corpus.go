@@ -35,7 +35,9 @@ package corpus
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
+	"memwall/internal/faultinject"
 	"memwall/internal/mtc"
 	"memwall/internal/telemetry"
 	"memwall/internal/trace"
@@ -71,6 +73,9 @@ type Options struct {
 	// Metrics receives the corpus hit/miss/bytes counters; nil disables
 	// instrumentation (nil registries hand out nil, no-op instruments).
 	Metrics *telemetry.Registry
+	// FS is the filesystem seam for the disk tier; nil selects the real
+	// filesystem. Tests inject faults by passing an Injector-wrapped FS.
+	FS faultinject.FS
 }
 
 // counters are the corpus's telemetry instruments. All fields are nil-safe.
@@ -83,6 +88,7 @@ type counters struct {
 	diskReadBytes  *telemetry.Counter // corpus.disk.read.bytes
 	diskWriteBytes *telemetry.Counter // corpus.disk.write.bytes
 	diskErrors     *telemetry.Counter // corpus.disk.errors: unusable/unwritable tier files
+	diskCorrupt    *telemetry.Counter // corpus.disk.corrupt: structurally damaged tier files
 }
 
 func newCounters(r *telemetry.Registry) counters {
@@ -95,14 +101,21 @@ func newCounters(r *telemetry.Registry) counters {
 		diskReadBytes:  r.Counter("corpus.disk.read.bytes"),
 		diskWriteBytes: r.Counter("corpus.disk.write.bytes"),
 		diskErrors:     r.Counter("corpus.disk.errors"),
+		diskCorrupt:    r.Counter("corpus.disk.corrupt"),
 	}
 }
 
 // Corpus is the shared trace cache. The zero value is not useful; use New.
 // A nil *Corpus is the disabled corpus (see the package comment).
 type Corpus struct {
-	dir string
-	ctr counters
+	dir  string
+	ctr  counters
+	fsys faultinject.FS
+
+	// corruptions counts structurally-damaged disk-tier states detected
+	// (and degraded past), independent of the optional metrics registry,
+	// so the CLI can report a distinct exit status without -metrics.
+	corruptions atomic.Int64
 
 	mu      sync.Mutex
 	entries map[Key]*Entry
@@ -110,11 +123,25 @@ type Corpus struct {
 
 // New returns a corpus with the given options.
 func New(opts Options) *Corpus {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = faultinject.OS()
+	}
 	return &Corpus{
 		dir:     opts.Dir,
 		ctr:     newCounters(opts.Metrics),
+		fsys:    fsys,
 		entries: make(map[Key]*Entry),
 	}
+}
+
+// DiskCorruptions returns how many corrupt disk-tier states were detected
+// and degraded to regeneration. Nil-safe.
+func (c *Corpus) DiskCorruptions() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.corruptions.Load()
 }
 
 // Get returns the shared entry for (name, scale), creating it on first
@@ -254,7 +281,7 @@ func (e *Entry) materializeRefs() {
 		dir = e.c.dir
 	}
 	if dir != "" {
-		if refs, meta, ok := loadDisk(dir, e.key, ctr); ok {
+		if refs, meta, ok := e.c.loadDisk(e.key); ok {
 			ctr.diskHits.Inc()
 			e.adopt(refs, meta, ctr)
 			return
@@ -276,7 +303,7 @@ func (e *Entry) materializeRefs() {
 	}
 	e.adopt(refs, meta, ctr)
 	if dir != "" {
-		storeDisk(dir, e.key, refs, meta, ctr)
+		e.c.storeDisk(e.key, refs, meta)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"testing"
 
+	"memwall/internal/faultinject"
 	"memwall/internal/mtc"
 	"memwall/internal/telemetry"
 	"memwall/internal/trace"
@@ -367,4 +368,229 @@ func TestConcurrentGetHammer(t *testing.T) {
 	if c.Len() != len(names) {
 		t.Fatalf("Len = %d, want %d", c.Len(), len(names))
 	}
+}
+
+// TestDiskTierTruncatedTraceCorruptCounter: a truncated trace file is a
+// structural defect — it must degrade to regeneration with the corrupt
+// counter (and DiskCorruptions) incremented, on top of the error counter.
+func TestDiskTierTruncatedTraceCorruptCounter(t *testing.T) {
+	dir := t.TempDir()
+	cold := New(Options{Dir: dir})
+	want, err := cold.Get("li", 1).Refs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key{Name: "li", Scale: 1}
+	b, err := os.ReadFile(tracePath(dir, key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(tracePath(dir, key), b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := telemetry.NewRegistry()
+	warm := New(Options{Dir: dir, Metrics: reg})
+	got, err := warm.Get("li", 1).Refs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("truncated tier produced wrong refs")
+	}
+	if got := reg.Counter("corpus.disk.corrupt").Value(); got != 1 {
+		t.Errorf("corpus.disk.corrupt = %d, want 1", got)
+	}
+	if warm.DiskCorruptions() != 1 {
+		t.Errorf("DiskCorruptions = %d, want 1", warm.DiskCorruptions())
+	}
+	if got := reg.Counter("corpus.disk.misses").Value(); got != 1 {
+		t.Errorf("corpus.disk.misses = %d, want 1 (corruption must read as a miss)", got)
+	}
+}
+
+// TestDiskTierFingerprintMismatchIsStaleNotCorrupt: a well-formed sidecar
+// for the wrong identity counts as a disk error but NOT as corruption —
+// the file is intact, just not ours.
+func TestDiskTierFingerprintMismatchIsStaleNotCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	key := Key{Name: "li", Scale: 1}
+	sc := `{"format":1,"name":"espresso","scale":1,"seed":1,"suite":"SPEC92","dataSetBytes":1,"refCount":1}`
+	if err := os.WriteFile(metaPath(dir, key), []byte(sc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	c := New(Options{Dir: dir, Metrics: reg})
+	if _, err := c.Get("li", 1).Refs(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("corpus.disk.errors").Value(); got == 0 {
+		t.Error("identity mismatch not counted in corpus.disk.errors")
+	}
+	if got := reg.Counter("corpus.disk.corrupt").Value(); got != 0 {
+		t.Errorf("corpus.disk.corrupt = %d, want 0 for a stale-but-intact sidecar", got)
+	}
+	if c.DiskCorruptions() != 0 {
+		t.Errorf("DiskCorruptions = %d, want 0", c.DiskCorruptions())
+	}
+}
+
+// TestDiskTierMidWriteKill: an injected write fault during tier warming
+// (the on-disk state a mid-write kill leaves behind WriteAtomic) must
+// leave no destination file, count a disk error, and leave the next run a
+// plain cold miss — not an error, not wrong data.
+func TestDiskTierMidWriteKill(t *testing.T) {
+	for _, schedule := range []string{"shortwrite@1", "enospc@1"} {
+		t.Run(schedule, func(t *testing.T) {
+			dir := t.TempDir()
+			in, err := faultinject.Parse(schedule)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reg := telemetry.NewRegistry()
+			in.Bind(reg)
+			c := New(Options{Dir: dir, Metrics: reg, FS: in.Wrap(faultinject.OS())})
+			want, err := c.Get("li", 1).Refs()
+			if err != nil {
+				t.Fatalf("injected write fault broke materialization: %v", err)
+			}
+			if got := reg.Counter("corpus.disk.errors").Value(); got != 1 {
+				t.Errorf("corpus.disk.errors = %d, want 1", got)
+			}
+			class := faultinject.ShortWrite
+			if schedule == "enospc@1" {
+				class = faultinject.ENOSPC
+			}
+			if in.Injected(class) != 1 {
+				t.Fatalf("fault %s did not fire", schedule)
+			}
+			// The failed atomic write left nothing at the destination and no
+			// temp litter.
+			key := Key{Name: "li", Scale: 1}
+			if _, err := os.Stat(tracePath(dir, key)); !os.IsNotExist(err) {
+				t.Errorf("trace file exists after failed atomic write: %v", err)
+			}
+			left, _ := filepath.Glob(filepath.Join(dir, "*.tmp*"))
+			if len(left) != 0 {
+				t.Errorf("temp files left behind: %v", left)
+			}
+			// Next run: plain cold miss, regenerates identically, repairs tier.
+			reg2 := telemetry.NewRegistry()
+			c2 := New(Options{Dir: dir, Metrics: reg2})
+			got, err := c2.Get("li", 1).Refs()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatal("post-kill regeneration produced wrong refs")
+			}
+			if reg2.Counter("corpus.disk.corrupt").Value() != 0 {
+				t.Error("clean cold miss counted as corruption")
+			}
+			reg3 := telemetry.NewRegistry()
+			c3 := New(Options{Dir: dir, Metrics: reg3})
+			if _, err := c3.Get("li", 1).Refs(); err != nil {
+				t.Fatal(err)
+			}
+			if reg3.Counter("corpus.disk.hits").Value() != 1 {
+				t.Error("tier not repaired after mid-write kill")
+			}
+		})
+	}
+}
+
+// TestDiskTierTornRenameDetected: a torn rename reports success but
+// leaves half a trace file; the next run must detect the damage, count
+// corruption, and regenerate the right answer.
+func TestDiskTierTornRenameDetected(t *testing.T) {
+	dir := t.TempDir()
+	in, err := faultinject.Parse("tornrename@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(Options{Dir: dir, FS: in.Wrap(faultinject.OS())})
+	want, err := c.Get("li", 1).Refs()
+	if err != nil {
+		t.Fatalf("torn rename broke materialization: %v", err)
+	}
+	if in.Injected(faultinject.TornRename) != 1 {
+		t.Fatal("torn rename did not fire")
+	}
+
+	reg := telemetry.NewRegistry()
+	warm := New(Options{Dir: dir, Metrics: reg})
+	got, err := warm.Get("li", 1).Refs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("torn tier produced wrong refs")
+	}
+	if warm.DiskCorruptions() != 1 {
+		t.Errorf("DiskCorruptions = %d, want 1", warm.DiskCorruptions())
+	}
+	if reg.Counter("corpus.disk.corrupt").Value() != 1 {
+		t.Errorf("corpus.disk.corrupt = %d, want 1", reg.Counter("corpus.disk.corrupt").Value())
+	}
+}
+
+// TestDiskTierBitFlipDetected: silent corruption in the trace payload is
+// caught by the compact decoder or the refcount check and regenerated.
+func TestDiskTierBitFlipDetected(t *testing.T) {
+	dir := t.TempDir()
+	cold := New(Options{Dir: dir})
+	want, err := cold.Get("li", 1).Refs()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The sidecar is read first (ReadFile occurrence 1); the trace file is
+	// streamed via Open, so flip a trace byte by hand instead and use the
+	// injector for the sidecar flip in a second subtest.
+	t.Run("trace-payload", func(t *testing.T) {
+		key := Key{Name: "li", Scale: 1}
+		b, err := os.ReadFile(tracePath(dir, key))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[len(b)/2] ^= 0x10
+		if err := os.WriteFile(tracePath(dir, key), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		warm := New(Options{Dir: dir})
+		got, err := warm.Get("li", 1).Refs()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatal("bit-flipped tier produced wrong refs")
+		}
+		if warm.DiskCorruptions() != 1 {
+			t.Errorf("DiskCorruptions = %d, want 1", warm.DiskCorruptions())
+		}
+	})
+
+	t.Run("sidecar", func(t *testing.T) {
+		in, err := faultinject.Parse("bitflip@1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm := New(Options{Dir: dir, FS: in.Wrap(faultinject.OS())})
+		got, err := warm.Get("li", 1).Refs()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatal("bit-flipped sidecar produced wrong refs")
+		}
+		if in.Injected(faultinject.BitFlip) != 1 {
+			t.Fatal("sidecar bit flip did not fire")
+		}
+		// The flip lands in the sidecar JSON: depending on the byte it reads
+		// as corruption (unparseable) or staleness (field mismatch); either
+		// path must have refused the tier and regenerated.
+		if warm.DiskCorruptions() == 0 {
+			t.Log("flip degraded as stale (field mismatch) rather than corrupt — acceptable")
+		}
+	})
 }

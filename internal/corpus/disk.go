@@ -6,18 +6,26 @@
 // reproduce it; bumping diskFormat retires every stale file at once.
 //
 // The tier is a cache, not a store of record: any unreadable, mismatched,
-// or unwritable file degrades to a miss (counted in corpus.disk.errors)
-// and the trace is regenerated. Writes go through a temp file + rename so
-// concurrent processes never observe a torn trace.
+// or unwritable file degrades to a miss (counted in corpus.disk.errors,
+// with structural damage also counted in corpus.disk.corrupt) and the
+// trace is regenerated. All I/O flows through the faultinject.FS seam —
+// writes via faultinject.WriteAtomic (temp file + rename, enforced by the
+// streamlint atomicwrite rule) so concurrent processes never observe a
+// torn trace, and reads through the same seam so the injector can prove
+// each degradation path actually degrades.
 package corpus
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"os"
+	"io"
 	"path/filepath"
 	"unsafe"
 
+	"memwall/internal/faultinject"
 	"memwall/internal/telemetry"
 	"memwall/internal/trace"
 	"memwall/internal/workload"
@@ -28,7 +36,11 @@ import (
 const refSize = unsafe.Sizeof(trace.Ref{})
 
 // diskFormat versions the on-disk schema (trace encoding + sidecar).
-const diskFormat = 1
+// Format 2 added TraceSum: the compact delta encoding decodes almost any
+// bit pattern into *some* reference stream, so without a checksum a
+// flipped bit in the payload silently becomes a wrong answer instead of
+// a counted regeneration.
+const diskFormat = 2
 
 // sidecar is the JSON metadata stored next to each compact trace. The
 // identity fields double-check the fingerprint: a hash collision or a
@@ -41,6 +53,8 @@ type sidecar struct {
 	Suite        string `json:"suite"`
 	DataSetBytes int64  `json:"dataSetBytes"`
 	RefCount     int64  `json:"refCount"`
+	// TraceSum is the hex SHA-256 of the compact trace file's bytes.
+	TraceSum string `json:"traceSum"`
 }
 
 // diskKey returns the fingerprint naming the tier files for key.
@@ -64,36 +78,49 @@ func metaPath(dir string, key Key) string {
 	return filepath.Join(dir, "corpus-"+diskKey(key)[:24]+".json")
 }
 
+// corruptDisk counts one structurally-damaged tier state: an error AND a
+// corruption (the corrupt counter refines, rather than replaces, the
+// PR 4 error counter).
+func (c *Corpus) corruptDisk() {
+	c.ctr.diskErrors.Inc()
+	c.ctr.diskCorrupt.Inc()
+	c.corruptions.Add(1)
+}
+
 // loadDisk attempts to serve key from the tier. ok=false on any miss,
-// mismatch, or corruption (corruption also counts a disk error).
-func loadDisk(dir string, key Key, ctr counters) ([]trace.Ref, Meta, bool) {
-	mb, err := os.ReadFile(metaPath(dir, key))
+// mismatch, or corruption. A structurally-damaged file (unparseable
+// sidecar, undecodable or truncated trace, sidecar without its trace)
+// counts as corruption; a well-formed file for the wrong identity counts
+// only as a disk error (stale, not damaged).
+func (c *Corpus) loadDisk(key Key) ([]trace.Ref, Meta, bool) {
+	mb, err := c.fsys.ReadFile(metaPath(c.dir, key))
 	if err != nil {
 		return nil, Meta{}, false // cold: plain miss
 	}
 	var sc sidecar
 	if err := json.Unmarshal(mb, &sc); err != nil {
-		ctr.diskErrors.Inc()
+		c.corruptDisk()
 		return nil, Meta{}, false
 	}
 	if sc.Format != diskFormat || sc.Name != key.Name || sc.Scale != key.Scale || sc.Seed != workload.BaseSeed {
-		ctr.diskErrors.Inc()
+		c.ctr.diskErrors.Inc()
 		return nil, Meta{}, false
 	}
-	f, err := os.Open(tracePath(dir, key))
+	tb, err := c.fsys.ReadFile(tracePath(c.dir, key))
 	if err != nil {
-		ctr.diskErrors.Inc() // sidecar without trace: inconsistent tier
+		c.corruptDisk() // sidecar without trace: inconsistent tier
 		return nil, Meta{}, false
 	}
-	defer f.Close()
-	refs, err := trace.ReadCompact(f)
+	if sum := sha256.Sum256(tb); hex.EncodeToString(sum[:]) != sc.TraceSum {
+		c.corruptDisk() // payload damage the decoder might not notice
+		return nil, Meta{}, false
+	}
+	refs, err := trace.ReadCompact(bytes.NewReader(tb))
 	if err != nil || int64(len(refs)) != sc.RefCount {
-		ctr.diskErrors.Inc()
+		c.corruptDisk()
 		return nil, Meta{}, false
 	}
-	if fi, err := f.Stat(); err == nil {
-		ctr.diskReadBytes.Add(fi.Size())
-	}
+	c.ctr.diskReadBytes.Add(int64(len(tb)))
 	suite := workload.SPEC92
 	if sc.Suite == workload.SPEC95.String() {
 		suite = workload.SPEC95
@@ -110,20 +137,21 @@ func loadDisk(dir string, key Key, ctr counters) ([]trace.Ref, Meta, bool) {
 // storeDisk warms the tier with a freshly materialized trace. Failures are
 // counted, not fatal: a read-only or full corpus directory must not break
 // the run it was meant to speed up.
-func storeDisk(dir string, key Key, refs []trace.Ref, meta Meta, ctr counters) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		ctr.diskErrors.Inc()
+func (c *Corpus) storeDisk(key Key, refs []trace.Ref, meta Meta) {
+	if err := c.fsys.MkdirAll(c.dir, 0o755); err != nil {
+		c.ctr.diskErrors.Inc()
 		return
 	}
-	n, err := writeFileAtomic(tracePath(dir, key), func(f *os.File) error {
-		_, err := trace.WriteCompact(f, trace.NewSliceStream(refs))
+	hasher := sha256.New()
+	n, err := faultinject.WriteAtomic(c.fsys, tracePath(c.dir, key), func(w io.Writer) error {
+		_, err := trace.WriteCompact(io.MultiWriter(w, hasher), trace.NewSliceStream(refs))
 		return err
 	})
 	if err != nil {
-		ctr.diskErrors.Inc()
+		c.ctr.diskErrors.Inc()
 		return
 	}
-	ctr.diskWriteBytes.Add(n)
+	c.ctr.diskWriteBytes.Add(n)
 	sc := sidecar{
 		Format:       diskFormat,
 		Name:         meta.Name,
@@ -132,49 +160,20 @@ func storeDisk(dir string, key Key, refs []trace.Ref, meta Meta, ctr counters) {
 		Suite:        meta.Suite.String(),
 		DataSetBytes: meta.DataSetBytes,
 		RefCount:     meta.RefCount,
+		TraceSum:     hex.EncodeToString(hasher.Sum(nil)),
 	}
 	mb, err := json.MarshalIndent(sc, "", "  ")
 	if err != nil {
-		ctr.diskErrors.Inc()
+		c.ctr.diskErrors.Inc()
 		return
 	}
-	n, err = writeFileAtomic(metaPath(dir, key), func(f *os.File) error {
-		_, err := f.Write(append(mb, '\n'))
+	n, err = faultinject.WriteAtomic(c.fsys, metaPath(c.dir, key), func(w io.Writer) error {
+		_, err := w.Write(append(mb, '\n'))
 		return err
 	})
 	if err != nil {
-		ctr.diskErrors.Inc()
+		c.ctr.diskErrors.Inc()
 		return
 	}
-	ctr.diskWriteBytes.Add(n)
-}
-
-// writeFileAtomic writes via a temp file in the same directory and renames
-// into place, returning the byte count. Concurrent writers of the same key
-// are all writing identical content, so last-rename-wins is correct.
-func writeFileAtomic(path string, fill func(*os.File) error) (int64, error) {
-	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
-	if err != nil {
-		return 0, err
-	}
-	tmp := f.Name()
-	if err := fill(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return 0, err
-	}
-	fi, statErr := f.Stat()
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return 0, err
-	}
-	if statErr != nil {
-		os.Remove(tmp)
-		return 0, statErr
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return 0, err
-	}
-	return fi.Size(), nil
+	c.ctr.diskWriteBytes.Add(n)
 }

@@ -1,0 +1,290 @@
+// The deterministic injector: a parsed fault schedule plus the occurrence
+// counters that decide exactly which operation each fault fires on.
+package faultinject
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+
+	"memwall/internal/telemetry"
+)
+
+// Class names one injectable fault kind.
+type Class string
+
+// The fault classes of the -fault-schedule grammar.
+const (
+	// ShortWrite makes the Nth file-content Write call write only half
+	// its buffer and return an error (io.ErrShortWrite semantics).
+	ShortWrite Class = "shortwrite"
+	// ENOSPC makes the Nth file-content Write call fail with
+	// syscall.ENOSPC, as a full disk would.
+	ENOSPC Class = "enospc"
+	// TornRename makes the Nth Rename leave a half-length destination
+	// and report success — the on-disk state of a crash between the
+	// rename's metadata commit and its data reaching stable storage.
+	TornRename Class = "tornrename"
+	// BitFlip flips one deterministic bit in the result of the Nth
+	// ReadFile call: silent media corruption.
+	BitFlip Class = "bitflip"
+	// Panic panics inside the Nth runner cell (worker kill). The
+	// runner's worker-boundary recover converts it into a task error
+	// carrying the cell identity.
+	Panic Class = "panic"
+	// Cancel cancels the run context at the start of the Nth runner
+	// cell: an external shutdown arriving mid-grid.
+	Cancel Class = "cancel"
+)
+
+// classes lists every valid class, for Parse diagnostics.
+var classes = []Class{ShortWrite, ENOSPC, TornRename, BitFlip, Panic, Cancel}
+
+// counterName returns the telemetry counter tracking injections of c.
+func counterName(c Class) string { return "fault.injected." + string(c) }
+
+// Injector schedules faults. A nil *Injector injects nothing (Wrap
+// returns its argument, the cell hooks no-op), so callers thread it
+// unconditionally. All methods are safe for concurrent use: occurrence
+// counting is serialized under one mutex, which the hot paths touch only
+// when an injector is actually armed.
+type Injector struct {
+	mu sync.Mutex
+	// armed maps class -> the set of 1-based occurrences to fire on.
+	armed map[Class]map[int64]bool
+	// seen counts eligible operations per class.
+	seen map[Class]int64
+	// fired counts injections per class.
+	fired map[Class]int64
+
+	metrics *telemetry.Registry
+}
+
+// Parse builds an injector from a schedule string: comma-separated
+// entries of the form
+//
+//	<class>@<n>
+//
+// where <class> is one of shortwrite, enospc, tornrename, bitflip, panic,
+// cancel, and <n> is the 1-based occurrence of that class's eligible
+// operation to fire on ("shortwrite@2,panic@5" fails the second
+// file-content write and kills the fifth grid cell). An empty schedule
+// returns a nil injector.
+func Parse(schedule string) (*Injector, error) {
+	schedule = strings.TrimSpace(schedule)
+	if schedule == "" {
+		return nil, nil
+	}
+	in := &Injector{
+		armed: map[Class]map[int64]bool{},
+		seen:  map[Class]int64{},
+		fired: map[Class]int64{},
+	}
+	for _, entry := range strings.Split(schedule, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, at, ok := strings.Cut(entry, "@")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: entry %q: want <class>@<n>", entry)
+		}
+		c := Class(strings.TrimSpace(name))
+		valid := false
+		for _, k := range classes {
+			if c == k {
+				valid = true
+			}
+		}
+		if !valid {
+			return nil, fmt.Errorf("faultinject: unknown fault class %q (want one of %v)", name, classes)
+		}
+		n, err := strconv.ParseInt(strings.TrimSpace(at), 10, 64)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("faultinject: entry %q: occurrence must be a positive integer", entry)
+		}
+		if in.armed[c] == nil {
+			in.armed[c] = map[int64]bool{}
+		}
+		in.armed[c][n] = true
+	}
+	return in, nil
+}
+
+// Bind attaches a metrics registry: every subsequent injection increments
+// the fault.injected.<class> counter. Nil-safe on both sides.
+func (in *Injector) Bind(metrics *telemetry.Registry) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.metrics = metrics
+	in.mu.Unlock()
+}
+
+// String renders the armed schedule in a stable order (for logs/tests).
+func (in *Injector) String() string {
+	if in == nil {
+		return ""
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var parts []string
+	for _, c := range classes {
+		var ns []int64
+		for n := range in.armed[c] {
+			ns = append(ns, n)
+		}
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		for _, n := range ns {
+			parts = append(parts, fmt.Sprintf("%s@%d", c, n))
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// fire counts one eligible operation for c and reports whether this
+// occurrence is armed; if so the injection is recorded. Returns the
+// occurrence number either way.
+func (in *Injector) fire(c Class) (int64, bool) {
+	if in == nil {
+		return 0, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.seen[c]++
+	n := in.seen[c]
+	if !in.armed[c][n] {
+		return n, false
+	}
+	in.fired[c]++
+	in.metrics.Counter(counterName(c)).Inc()
+	return n, true
+}
+
+// Injected returns how many faults of class c have fired. Nil-safe.
+func (in *Injector) Injected(c Class) int64 {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired[c]
+}
+
+// CellStart is the runner's per-cell hook: it fires any armed Panic or
+// Cancel fault for the cell about to execute. cancel may be nil when the
+// caller has no cancellable context. Nil-safe.
+func (in *Injector) CellStart(index int, cancel func()) {
+	if in == nil {
+		return
+	}
+	if _, hit := in.fire(Cancel); hit && cancel != nil {
+		cancel()
+	}
+	if n, hit := in.fire(Panic); hit {
+		panic(fmt.Sprintf("faultinject: injected panic (occurrence %d) in cell %d", n, index))
+	}
+}
+
+// Wrap decorates base with the injector's filesystem faults. A nil
+// injector returns base unchanged.
+func (in *Injector) Wrap(base FS) FS {
+	if in == nil {
+		return base
+	}
+	return faultFS{base: base, in: in}
+}
+
+// faultFS is the fault-injecting FS decorator.
+type faultFS struct {
+	base FS
+	in   *Injector
+}
+
+func (f faultFS) ReadFile(name string) ([]byte, error) {
+	b, err := f.base.ReadFile(name)
+	if err != nil {
+		return b, err
+	}
+	if n, hit := f.in.fire(BitFlip); hit && len(b) > 0 {
+		// Deterministic bit position: hashed from the occurrence and the
+		// file length, so the same schedule corrupts the same bit.
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%d:%d", n, len(b))
+		bit := h.Sum64() % uint64(len(b)*8)
+		b[bit/8] ^= 1 << (bit % 8)
+	}
+	return b, nil
+}
+
+func (f faultFS) Open(name string) (File, error) { return f.base.Open(name) }
+
+func (f faultFS) CreateTemp(dir, pattern string) (File, error) {
+	file, err := f.base.CreateTemp(dir, pattern)
+	if err != nil {
+		return file, err
+	}
+	return &faultFile{File: file, in: f.in}, nil
+}
+
+func (f faultFS) Rename(oldpath, newpath string) error {
+	if _, hit := f.in.fire(TornRename); hit {
+		// Tear: the destination materializes with only the first half of
+		// the source's bytes, the source is gone, and the caller sees
+		// success — exactly what a crash after the rename's metadata
+		// commit leaves behind. The torn content is placed with the real
+		// rename so no *additional* failure mode sneaks in.
+		b, err := f.base.ReadFile(oldpath)
+		if err != nil {
+			return err
+		}
+		torn, err := f.base.CreateTemp(filepath.Dir(newpath), filepath.Base(newpath)+".torn*")
+		if err != nil {
+			return err
+		}
+		if _, err := torn.Write(b[:len(b)/2]); err != nil {
+			torn.Close()
+			f.base.Remove(torn.Name())
+			return err
+		}
+		if err := torn.Close(); err != nil {
+			return err
+		}
+		if err := f.base.Rename(torn.Name(), newpath); err != nil {
+			f.base.Remove(torn.Name())
+			return err
+		}
+		f.base.Remove(oldpath)
+		return nil
+	}
+	return f.base.Rename(oldpath, newpath)
+}
+
+func (f faultFS) Remove(name string) error                     { return f.base.Remove(name) }
+func (f faultFS) MkdirAll(path string, perm fs.FileMode) error { return f.base.MkdirAll(path, perm) }
+
+// faultFile injects write faults into a temp file opened for the atomic
+// write path.
+type faultFile struct {
+	File
+	in *Injector
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if _, hit := f.in.fire(ShortWrite); hit {
+		n, _ := f.File.Write(p[:len(p)/2])
+		return n, errInjected{class: ShortWrite, op: "write", err: io.ErrShortWrite}
+	}
+	if _, hit := f.in.fire(ENOSPC); hit {
+		return 0, errInjected{class: ENOSPC, op: "write", err: syscall.ENOSPC}
+	}
+	return f.File.Write(p)
+}

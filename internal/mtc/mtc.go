@@ -385,10 +385,11 @@ func (m *MTC) access(isWrite bool, t int) {
 
 // checkLen panics when the replayed trace is longer than the one the future
 // table was built over — the MIN contract is replay-what-you-ingested, and
-// a silent index error here would be much harder to diagnose.
+// a silent index error here would be much harder to diagnose. This is the
+// invariant backstop for callers that bypass SimulateRefs' validation.
 func (m *MTC) checkLen(t int) {
 	if t >= m.fut.Len() {
-		panic(fmt.Sprintf("mtc: replayed trace exceeds the %d references the future table was built over; Run must replay the exact trace passed to New/NewFuture", m.fut.Len()))
+		panic(fmt.Sprintf("mtc: invariant violated: replaying reference %d of a trace but the future table was built over only %d references; Run must replay the exact trace passed to New/NewFuture", t, m.fut.Len()))
 	}
 }
 
@@ -446,6 +447,13 @@ func Simulate(cfg Config, s trace.Stream) (Stats, error) {
 // refs). This is the grid-sweep fast path: the table is built once and
 // every configuration replays against it.
 func SimulateRefs(cfg Config, f *Future, refs []trace.Ref) (Stats, error) {
+	// Validate the trace/table pairing up front: a mismatched pairing is a
+	// caller input error (e.g. a table built over a different trace), and
+	// belongs in the error return, not in checkLen's invariant panic deep
+	// inside the replay loop.
+	if f != nil && len(refs) > f.Len() {
+		return Stats{}, fmt.Errorf("mtc: trace/future mismatch: replaying %d references against a future table built over %d; build the table with FutureOfRefs over exactly this trace", len(refs), f.Len())
+	}
 	m, err := NewWithFuture(cfg, f)
 	if err != nil {
 		return Stats{}, err

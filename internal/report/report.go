@@ -15,7 +15,7 @@ import (
 	"memwall/internal/corpus"
 	"memwall/internal/iocomplexity"
 	"memwall/internal/mtc"
-	"memwall/internal/telemetry"
+	"memwall/internal/runner"
 	"memwall/internal/trace"
 	"memwall/internal/trends"
 	"memwall/internal/workload"
@@ -34,6 +34,11 @@ type Options struct {
 	// worker pool (see internal/runner). Values < 1 default to 1, the
 	// serial sweep; results are identical for any worker count.
 	Workers int `json:"-"`
+	// Pool, when non-nil, supplies the full worker-pool configuration for
+	// the Figure 3 grid — telemetry hooks plus the checkpoint ledger and
+	// fault injector of a crash-safe CLI run (cmd/memwall's
+	// -checkpoint-dir / -fault-schedule). It overrides Workers.
+	Pool *runner.Config `json:"-"`
 	// Sizes are the cache sizes for the traffic tables (defaults to the
 	// paper's 1KB-2MB columns).
 	Sizes []int
@@ -255,7 +260,11 @@ func Collect(opts Options) (*Report, error) {
 				}
 				list = append(list, progs[name])
 			}
-			cells, err := core.Figure3Parallel(suite, list, opts.CacheScale, telemetry.Observation{}, opts.Workers)
+			pool := runner.Config{Workers: opts.Workers}
+			if opts.Pool != nil {
+				pool = *opts.Pool
+			}
+			cells, err := core.Figure3Pool(suite, list, opts.CacheScale, pool)
 			if err != nil {
 				return nil, err
 			}

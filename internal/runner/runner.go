@@ -17,7 +17,17 @@
 // Failure contract: the first task error cancels the shared context;
 // workers stop claiming tasks promptly, and Map returns every task error
 // joined with errors.Join in task-index order (so the error text is also
-// schedule-independent for a fixed set of failing tasks).
+// schedule-independent for a fixed set of failing tasks). A panicking
+// task never escapes the pool: a worker-boundary recover converts it
+// into a task error carrying the cell's identity (its key/name and
+// index), which then follows the ordinary fail-fast path.
+//
+// Checkpointing: when Config.Checkpoint is set, each task's result is
+// JSON-round-tripped through the ledger — completed cells are served
+// from Lookup (skipping the compute entirely) and fresh results are
+// journaled via Record. Because results are collected in index order
+// either way, a resumed run's output is byte-identical to an
+// uninterrupted one at any worker count.
 //
 // Telemetry: each worker traces on its own Perfetto track
 // (Tracer.WithTID), each task is wrapped in a span named by
@@ -28,6 +38,7 @@ package runner
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
@@ -36,6 +47,22 @@ import (
 
 	"memwall/internal/telemetry"
 )
+
+// Checkpoint is the cell ledger seam (satisfied by *checkpoint.Ledger,
+// including a nil one — both methods must be nil-receiver-safe).
+// Lookup returns a completed cell's JSON result; Record journals one.
+type Checkpoint interface {
+	Lookup(key string) ([]byte, bool)
+	Record(key string, value []byte)
+}
+
+// Fault is the worker-level fault seam (satisfied by
+// *faultinject.Injector, including a nil one). CellStart runs at the top
+// of every computed cell and may panic (worker kill) or call cancel
+// (external shutdown).
+type Fault interface {
+	CellStart(index int, cancel func())
+}
 
 // Workers resolves a -j flag value: j >= 1 is used as given, anything
 // else (0, negative) selects runtime.GOMAXPROCS(0).
@@ -56,8 +83,25 @@ type Config struct {
 	// worker with WithTID so concurrent tasks render on separate tracks;
 	// Metrics and Progress are shared (both are concurrency-safe).
 	Obs telemetry.Observation
-	// TaskName, when non-nil, names task i's trace span.
+	// TaskName, when non-nil, names task i's trace span. It doubles as
+	// the default checkpoint cell key when CellKey is unset, so grids
+	// that already name their tasks get checkpointing for free.
 	TaskName func(i int) string
+	// CellKey, when non-nil, overrides TaskName as the checkpoint key for
+	// task i. Keys must be unique within the grid and stable across runs
+	// of the same configuration.
+	CellKey func(i int) string
+	// Checkpoint, when non-nil, journals each completed cell's
+	// JSON-encoded result and serves previously-completed cells without
+	// recomputing them. Requires a key function (CellKey or TaskName);
+	// results must round-trip through encoding/json. A value whose
+	// Lookup never hits (e.g. a record-only ledger) degrades to plain
+	// journaling.
+	Checkpoint Checkpoint
+	// Fault, when non-nil, is invoked at the start of every computed
+	// (non-checkpoint-served) cell; it is the injection point for
+	// deterministic worker kills and context cancellation.
+	Fault Fault
 }
 
 // Func is one grid task. It receives the task index and a tracer pinned
@@ -81,13 +125,64 @@ func Map[T any](ctx context.Context, cfg Config, n int, fn Func[T]) ([]T, error)
 		workers = n
 	}
 
-	runTask := func(i int, tracer *telemetry.Tracer) (T, error) {
+	// Both paths share one cancellable context so fault-injected
+	// cancellation (Fault.CellStart's cancel hook) works serially too.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// keyFn names cells for checkpointing; TaskName is the default so
+	// existing grids opt in by just setting Checkpoint.
+	keyFn := cfg.CellKey
+	if keyFn == nil {
+		keyFn = cfg.TaskName
+	}
+
+	// cellID renders a task's identity for panic reports: the stable cell
+	// key when one exists (it names the benchmark/experiment), always the
+	// index.
+	cellID := func(i int) string {
+		if keyFn != nil {
+			return fmt.Sprintf("cell %q (task %d)", keyFn(i), i)
+		}
+		return fmt.Sprintf("cell %d", i)
+	}
+
+	runTask := func(i int, tracer *telemetry.Tracer) (v T, err error) {
 		var sp *telemetry.Span
 		if cfg.TaskName != nil {
 			sp = tracer.StartSpan(cfg.TaskName(i), nil)
 		}
-		v, err := fn(ctx, i, tracer)
-		sp.End()
+		defer sp.End()
+		// Worker boundary: a panicking cell must fail the run with its
+		// identity attached, never crash the process. Registered before
+		// Fault.CellStart so injected panics exercise the same path a
+		// real one would.
+		defer func() {
+			if r := recover(); r != nil {
+				cfg.Obs.Metrics.Counter("runner.panics").Inc()
+				err = fmt.Errorf("%s panicked: %v", cellID(i), r)
+			}
+		}()
+		if cfg.Checkpoint != nil && keyFn != nil {
+			if b, ok := cfg.Checkpoint.Lookup(keyFn(i)); ok {
+				var cached T
+				if jerr := json.Unmarshal(b, &cached); jerr == nil {
+					return cached, nil
+				}
+				// Undecodable cell (schema drift the fingerprint missed):
+				// fall through and recompute — degrade, never fail.
+				cfg.Obs.Metrics.Counter("runner.checkpoint.decode_errors").Inc()
+			}
+		}
+		if cfg.Fault != nil {
+			cfg.Fault.CellStart(i, cancel)
+		}
+		v, err = fn(ctx, i, tracer)
+		if err == nil && cfg.Checkpoint != nil && keyFn != nil {
+			if b, jerr := json.Marshal(v); jerr == nil {
+				cfg.Checkpoint.Record(keyFn(i), b)
+			}
+		}
 		return v, err
 	}
 
@@ -107,9 +202,6 @@ func Map[T any](ctx context.Context, cfg Config, n int, fn Func[T]) ([]T, error)
 		}
 		return out, nil
 	}
-
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
 	errs := make([]error, n)
 	var next atomic.Int64
 	var wg sync.WaitGroup

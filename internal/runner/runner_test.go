@@ -9,6 +9,7 @@ import (
 	"reflect"
 	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -170,5 +171,175 @@ func TestMapTaskSpans(t *testing.T) {
 	}
 	if names["task:0"] == names["task:1"] {
 		t.Errorf("both tasks on tid %d; want distinct worker tracks", names["task:0"])
+	}
+}
+
+// fakeLedger is an in-memory Checkpoint for hook tests.
+type fakeLedger struct {
+	mu      sync.Mutex
+	cells   map[string][]byte
+	serves  bool
+	records int
+}
+
+func (f *fakeLedger) Lookup(key string) ([]byte, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.serves {
+		return nil, false
+	}
+	b, ok := f.cells[key]
+	return b, ok
+}
+
+func (f *fakeLedger) Record(key string, value []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.cells == nil {
+		f.cells = map[string][]byte{}
+	}
+	f.cells[key] = value
+	f.records++
+}
+
+// TestMapPanicBecomesTaskError: a panicking cell fails the run with its
+// identity in the error — never a process crash.
+func TestMapPanicBecomesTaskError(t *testing.T) {
+	for _, j := range []int{1, 4} {
+		reg := telemetry.NewRegistry()
+		_, err := Map(context.Background(), Config{
+			Workers:  j,
+			Obs:      telemetry.Observation{Metrics: reg},
+			TaskName: func(i int) string { return fmt.Sprintf("grid:cell-%d", i) },
+		}, 8, func(ctx context.Context, i int, _ *telemetry.Tracer) (int, error) {
+			if i == 3 {
+				panic("blown invariant")
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("j=%d: panic did not fail the run", j)
+		}
+		for _, want := range []string{`"grid:cell-3"`, "task 3", "panicked", "blown invariant"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("j=%d: error %q lacks %q", j, err, want)
+			}
+		}
+		if got := reg.Snapshot().Counters["runner.panics"]; got != 1 {
+			t.Errorf("j=%d: runner.panics = %d, want 1", j, got)
+		}
+	}
+}
+
+// TestMapCheckpointRoundTrip: fresh cells are journaled; served cells
+// skip the compute and reproduce the same results.
+func TestMapCheckpointRoundTrip(t *testing.T) {
+	led := &fakeLedger{}
+	cfg := Config{
+		Workers:    2,
+		TaskName:   func(i int) string { return fmt.Sprintf("cell-%d", i) },
+		Checkpoint: led,
+	}
+	compute := func(ctx context.Context, i int, _ *telemetry.Tracer) (string, error) {
+		return fmt.Sprintf("value-%d", i), nil
+	}
+	first, err := Map(context.Background(), cfg, 6, compute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if led.records != 6 {
+		t.Fatalf("records = %d, want 6", led.records)
+	}
+
+	// Resume: the ledger serves; the compute function must not run.
+	led.serves = true
+	second, err := Map(context.Background(), cfg, 6,
+		func(ctx context.Context, i int, _ *telemetry.Tracer) (string, error) {
+			t.Errorf("cell %d recomputed despite checkpoint hit", i)
+			return "", nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Errorf("resumed results differ:\n first:  %v\n second: %v", first, second)
+	}
+}
+
+// TestMapCheckpointDecodeErrorRecomputes: an undecodable journaled cell
+// degrades to a recompute, not a failure.
+func TestMapCheckpointDecodeErrorRecomputes(t *testing.T) {
+	led := &fakeLedger{serves: true, cells: map[string][]byte{"cell-0": []byte("not json")}}
+	reg := telemetry.NewRegistry()
+	out, err := Map(context.Background(), Config{
+		Workers:    1,
+		Obs:        telemetry.Observation{Metrics: reg},
+		TaskName:   func(i int) string { return fmt.Sprintf("cell-%d", i) },
+		Checkpoint: led,
+	}, 1, func(ctx context.Context, i int, _ *telemetry.Tracer) (int, error) {
+		return 42, nil
+	})
+	if err != nil || out[0] != 42 {
+		t.Fatalf("Map = %v, %v; want [42]", out, err)
+	}
+	if got := reg.Snapshot().Counters["runner.checkpoint.decode_errors"]; got != 1 {
+		t.Errorf("decode_errors = %d, want 1", got)
+	}
+}
+
+// cellStartFunc adapts a function to the Fault seam.
+type cellStartFunc func(index int, cancel func())
+
+func (f cellStartFunc) CellStart(index int, cancel func()) { f(index, cancel) }
+
+// TestMapFaultCancel: an injected context-cancel aborts the sweep like an
+// external shutdown would, on both execution paths.
+func TestMapFaultCancel(t *testing.T) {
+	for _, j := range []int{1, 4} {
+		var ran atomic.Int64
+		_, err := Map(context.Background(), Config{
+			Workers: j,
+			Fault: cellStartFunc(func(index int, cancel func()) {
+				if index == 2 {
+					cancel()
+				}
+			}),
+		}, 64, func(ctx context.Context, i int, _ *telemetry.Tracer) (int, error) {
+			ran.Add(1)
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			return i, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("j=%d: err = %v, want context.Canceled", j, err)
+		}
+		if got := ran.Load(); got >= 64 {
+			t.Errorf("j=%d: cancel did not stop the sweep (%d cells ran)", j, got)
+		}
+	}
+}
+
+// TestMapCheckpointSkipsFault: cells served from the ledger never reach
+// the fault hook — resumed cells are not "executed" in any sense.
+func TestMapCheckpointSkipsFault(t *testing.T) {
+	led := &fakeLedger{serves: true, cells: map[string][]byte{`cell-0`: []byte(`7`)}}
+	var faults atomic.Int64
+	out, err := Map(context.Background(), Config{
+		Workers:    1,
+		TaskName:   func(i int) string { return fmt.Sprintf("cell-%d", i) },
+		Checkpoint: led,
+		Fault:      cellStartFunc(func(int, func()) { faults.Add(1) }),
+	}, 2, func(ctx context.Context, i int, _ *telemetry.Tracer) (int, error) {
+		return i * 10, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 7 || out[1] != 10 {
+		t.Errorf("out = %v, want [7 10]", out)
+	}
+	if faults.Load() != 1 {
+		t.Errorf("fault hook ran %d times, want 1 (computed cell only)", faults.Load())
 	}
 }

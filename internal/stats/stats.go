@@ -7,6 +7,7 @@ package stats
 
 import (
 	"errors"
+	"fmt"
 	"math"
 )
 
@@ -144,7 +145,7 @@ func (r *RNG) Uint64() uint64 {
 // Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
-		panic("stats: Intn with non-positive n")
+		panic(fmt.Sprintf("stats: invariant violated: Intn needs n >= 1, got n = %d", n))
 	}
 	return int(r.Uint64() % uint64(n))
 }

@@ -94,11 +94,11 @@ type Histogram struct {
 // (instrument construction is programmer-controlled, not data-driven).
 func NewHistogram(bounds []float64) *Histogram {
 	if len(bounds) == 0 {
-		panic("telemetry: histogram needs at least one bucket bound")
+		panic("telemetry: invariant violated: histogram needs at least one bucket bound, got none")
 	}
 	for i := 1; i < len(bounds); i++ {
 		if bounds[i] <= bounds[i-1] {
-			panic("telemetry: histogram bounds must be strictly ascending")
+			panic(fmt.Sprintf("telemetry: invariant violated: histogram bounds must be strictly ascending, got bounds[%d] = %v <= bounds[%d] = %v", i, bounds[i], i-1, bounds[i-1]))
 		}
 	}
 	return &Histogram{
@@ -112,7 +112,7 @@ func NewHistogram(bounds []float64) *Histogram {
 // occupancy.
 func LinearBuckets(start, width float64, n int) []float64 {
 	if n < 1 {
-		panic("telemetry: LinearBuckets needs n >= 1")
+		panic(fmt.Sprintf("telemetry: invariant violated: LinearBuckets needs n >= 1, got n = %d", n))
 	}
 	out := make([]float64, n)
 	for i := range out {
@@ -124,7 +124,7 @@ func LinearBuckets(start, width float64, n int) []float64 {
 // ExpBuckets returns n bounds start, start*factor, start*factor^2, ...
 func ExpBuckets(start, factor float64, n int) []float64 {
 	if n < 1 || start <= 0 || factor <= 1 {
-		panic("telemetry: ExpBuckets needs n >= 1, start > 0, factor > 1")
+		panic(fmt.Sprintf("telemetry: invariant violated: ExpBuckets needs n >= 1, start > 0, factor > 1; got n = %d, start = %v, factor = %v", n, start, factor))
 	}
 	out := make([]float64, n)
 	v := start
@@ -347,11 +347,12 @@ func (o Observation) Enabled() bool {
 
 // marshalSorted renders v as JSON with a stable field order (maps are
 // already sorted by encoding/json; this is a convenience wrapper that
-// fails loudly on unserialisable values).
+// fails loudly on unserialisable values — only our own snapshot structs
+// pass through here, so failure is a programming error, not bad input).
 func marshalSorted(v any) []byte {
 	b, err := json.Marshal(v)
 	if err != nil {
-		panic(fmt.Sprintf("telemetry: marshal: %v", err))
+		panic(fmt.Sprintf("telemetry: invariant violated: snapshot value of type %T is not JSON-serialisable: %v", v, err))
 	}
 	return b
 }
