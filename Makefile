@@ -18,10 +18,19 @@ bench:
 # Machine-readable before/after benchmark artifact. Runs the paper-artifact
 # benchmarks that the trace corpus accelerates (plus the corpus-neutral
 # Figure 3 pair) at a short -benchtime and converts the output into
-# BENCH_PR4.json: the *NoCorpus/*Corpus pairs become before/after rows
-# with their speedups. CI uploads the file as a build artifact.
+# BENCH_PR6.json: the *NoCorpus/*Corpus pairs become before/after rows
+# with their speedups. The conversion also checks trends against the
+# committed BENCH_PR4.json baseline (trend table on stderr) and fails on
+# a regression past 4x — generous because the two artifacts may come
+# from different hosts at short -benchtime; the gate is for
+# order-of-magnitude accidents, not noise. CI uploads the file as a
+# build artifact. The intermediate file keeps a benchjson failure from
+# being masked by a pipeline's exit status.
 bench-json:
-	$(GO) test -run '^$$' -bench 'Table7|Figure3|MTC' -benchtime 5x . | $(GO) run ./cmd/benchjson | tee BENCH_PR4.json
+	$(GO) test -run '^$$' -bench 'Table7|Figure3|MTC' -benchtime 5x . > bench_raw.txt
+	$(GO) run ./cmd/benchjson -baseline BENCH_PR4.json -max-regress 4 < bench_raw.txt > BENCH_PR6.json
+	@rm -f bench_raw.txt
+	@cat BENCH_PR6.json
 
 vet:
 	$(GO) vet ./...

@@ -8,12 +8,22 @@
 // The output is deterministic for a given input: results keep first-seen
 // order, repeated runs of one benchmark are averaged, and no timestamps
 // or host details are embedded (CI attaches provenance to the artifact).
+//
+// With -baseline <prior-artifact.json>, the new results are additionally
+// compared against the prior artifact by benchmark name: a trend table
+// goes to stderr, and any benchmark slower than the baseline by more
+// than -max-regress x fails the run with a non-zero exit — the CI
+// regression gate between per-PR artifacts (BENCH_PR4.json,
+// BENCH_PR6.json, ...). Benchmarks present on only one side are reported
+// but never fail the gate, so adding or retiring benchmarks stays cheap.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"strconv"
@@ -46,13 +56,16 @@ type Artifact struct {
 var benchLine = regexp.MustCompile(`^(Benchmark[^\s-]+)(?:-\d+)?\s+(\d+)\s+([0-9.]+(?:[eE][-+]?[0-9]+)?) ns/op`)
 
 func main() {
-	if err := run(); err != nil {
+	baseline := flag.String("baseline", "", "prior artifact to compare against (trend table on stderr, non-zero exit on regression)")
+	maxRegress := flag.Float64("max-regress", 2.0, "fail when a benchmark is slower than the baseline by more than this factor")
+	flag.Parse()
+	if err := run(*baseline, *maxRegress); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(baseline string, maxRegress float64) error {
 	var order []string
 	byName := map[string]*Result{}
 	sc := bufio.NewScanner(os.Stdin)
@@ -113,5 +126,60 @@ func run() error {
 
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	return enc.Encode(art)
+	if err := enc.Encode(art); err != nil {
+		return err
+	}
+	if baseline != "" {
+		return checkBaseline(os.Stderr, art, baseline, maxRegress)
+	}
+	return nil
+}
+
+// checkBaseline compares art against the artifact at path, writes a
+// per-benchmark trend table to w, and returns an error when any shared
+// benchmark regressed past maxRegress. Ratios compare averaged ns/op, so
+// run-to-run noise at short -benchtime argues for a generous factor —
+// the gate catches order-of-magnitude accidents (an instrumentation hook
+// left enabled, a corpus bypass), not single-digit-percent drift.
+func checkBaseline(w io.Writer, art Artifact, path string, maxRegress float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base Artifact
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	baseByName := map[string]*Result{}
+	for _, r := range base.Results {
+		baseByName[r.Name] = r
+	}
+	fmt.Fprintf(w, "benchjson: trends vs %s (fail above %.2fx)\n", path, maxRegress)
+	var regressed []string
+	seen := map[string]bool{}
+	for _, r := range art.Results {
+		seen[r.Name] = true
+		b, ok := baseByName[r.Name]
+		if !ok || b.NsPerOp <= 0 {
+			fmt.Fprintf(w, "  %-24s %14.0f ns/op  (new, no baseline)\n", r.Name, r.NsPerOp)
+			continue
+		}
+		ratio := r.NsPerOp / b.NsPerOp
+		verdict := "ok"
+		if ratio > maxRegress {
+			verdict = "REGRESSED"
+			regressed = append(regressed, fmt.Sprintf("%s (%.2fx)", r.Name, ratio))
+		}
+		fmt.Fprintf(w, "  %-24s %14.0f ns/op  %.2fx vs baseline  %s\n", r.Name, r.NsPerOp, ratio, verdict)
+	}
+	for _, b := range base.Results {
+		if !seen[b.Name] {
+			fmt.Fprintf(w, "  %-24s %14s          (baseline only, not run)\n", b.Name, "-")
+		}
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed past %.2fx: %s",
+			len(regressed), maxRegress, strings.Join(regressed, ", "))
+	}
+	return nil
 }

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBaseline(t *testing.T, art Artifact) string {
+	t.Helper()
+	b, err := json.Marshal(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(p, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCheckBaselinePassesWithinBound(t *testing.T) {
+	base := writeBaseline(t, Artifact{Results: []*Result{
+		{Name: "Figure3SPEC92", NsPerOp: 1000},
+		{Name: "Retired", NsPerOp: 50},
+	}})
+	art := Artifact{Results: []*Result{
+		{Name: "Figure3SPEC92", NsPerOp: 1500}, // 1.5x, under the 2x gate
+		{Name: "BrandNew", NsPerOp: 7},         // no baseline: reported, never fails
+	}}
+	var buf bytes.Buffer
+	if err := checkBaseline(&buf, art, base, 2.0); err != nil {
+		t.Fatalf("within-bound comparison failed: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"1.50x vs baseline  ok", "new, no baseline", "baseline only, not run"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trend table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCheckBaselineFailsOnRegression(t *testing.T) {
+	base := writeBaseline(t, Artifact{Results: []*Result{{Name: "MTCSimulate", NsPerOp: 100}}})
+	art := Artifact{Results: []*Result{{Name: "MTCSimulate", NsPerOp: 350}}}
+	var buf bytes.Buffer
+	err := checkBaseline(&buf, art, base, 2.0)
+	if err == nil {
+		t.Fatal("3.5x regression passed the 2x gate")
+	}
+	if !strings.Contains(err.Error(), "MTCSimulate") {
+		t.Errorf("error does not name the regressed benchmark: %v", err)
+	}
+	if !strings.Contains(buf.String(), "REGRESSED") {
+		t.Errorf("trend table does not mark the regression:\n%s", buf.String())
+	}
+}
+
+func TestCheckBaselineMissingFile(t *testing.T) {
+	if err := checkBaseline(&bytes.Buffer{}, Artifact{}, "/nonexistent/base.json", 2.0); err == nil {
+		t.Fatal("missing baseline file accepted")
+	}
+}

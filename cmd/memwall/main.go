@@ -22,7 +22,9 @@
 //	epin         Equations 5 & 7: effective pin bandwidth and its bound
 //	extrapolate  Section 4.3: the processor of 2006
 //	profile      simulation-throughput table, experiments A–F
-//	all          run everything above in order
+//	explain      time-attribution report: T_P/T_L/T_B, stall causes,
+//	             interval samples, wall-clock breakdown
+//	all          run everything above in order (explain excluded)
 //
 // Every command also accepts the global observability flags -metrics,
 // -events, -cpuprofile, -memprofile, and -progress (see observe.go).
@@ -140,6 +142,7 @@ var allExcluded = map[string]bool{
 	"export":    true,
 	"selfcheck": true,
 	"profile":   true,
+	"explain":   true,
 }
 
 // allOrder derives the `all` run list from the command registry: the

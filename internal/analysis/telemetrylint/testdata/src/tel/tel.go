@@ -3,7 +3,10 @@
 // they do in simulator code.
 package tel
 
-import "memwall/internal/telemetry"
+import (
+	"memwall/internal/attr"
+	"memwall/internal/telemetry"
+)
 
 // config mirrors cpu.Config: a Progress callback outside the telemetry
 // package is still covered by the field-name rule.
@@ -54,4 +57,19 @@ func GoodSpanDeferred(tr *telemetry.Tracer) {
 func GoodSpanClosureEnd(tr *telemetry.Tracer) func() {
 	sp := tr.StartSpan("x", nil)
 	return func() { sp.End() }
+}
+
+// Attr instrument names must be compile-time constants satisfying the
+// dotted-lowercase rule.
+
+func BadAttrDynamicName(c *attr.Collector, suffix string) {
+	c.Sampler("attr.core." + suffix) // want "not a compile-time constant"
+}
+
+func BadAttrInvalidName(c *attr.Collector) {
+	c.Ledger("CoreStalls", 4) // want `attr instrument name "CoreStalls" is invalid`
+}
+
+func BadAttrSingleSegment(c *attr.Collector) {
+	c.RefSampler("cache", 64) // want "is invalid"
 }

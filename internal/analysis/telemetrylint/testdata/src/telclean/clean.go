@@ -3,7 +3,10 @@
 // func-typed fields outside the contract are not the linter's business.
 package telclean
 
-import "memwall/internal/telemetry"
+import (
+	"memwall/internal/attr"
+	"memwall/internal/telemetry"
+)
 
 // Instruments reach the registry through nil-safe methods; no guard is
 // required even when the registry pointer is nil.
@@ -21,4 +24,17 @@ type cmp struct {
 // so telemetrylint stays silent.
 func Sorted(c cmp) bool {
 	return c.less(1, 2)
+}
+
+// ledgerName shows that named constants resolve through the type checker
+// just like literals — this is the cpu package's own registration idiom.
+const ledgerName = "attr.core.stalls"
+
+// AttrInstruments registers attr instruments with valid constant names:
+// literal, named const, and a multi-segment literal with digits and
+// underscores.
+func AttrInstruments(c *attr.Collector) {
+	c.Ledger(ledgerName, 4)
+	c.Sampler("attr.core.samples")
+	c.RefSampler("attr.cache.l2_refs", 4096)
 }

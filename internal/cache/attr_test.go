@@ -1,0 +1,91 @@
+package cache
+
+import (
+	"testing"
+
+	"memwall/internal/attr"
+	"memwall/internal/trace"
+)
+
+func TestRefSamplerRecordsMissTrafficSeries(t *testing.T) {
+	col := attr.New(attr.Options{})
+	cfg := Config{Size: 1 << 10, BlockSize: 32, Assoc: 1, Attr: col, AttrEvery: 100}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := make([]trace.Ref, 0, 500)
+	for i := 0; i < 500; i++ {
+		refs = append(refs, read(uint64(i*64))) // every ref misses
+	}
+	final := c.RunRefs(refs)
+	rec := col.Record()
+	ser, ok := rec.RefSeries["attr.cache.samples"]
+	if !ok || ser.Len() == 0 {
+		t.Fatalf("no cache ref series recorded: %+v", rec)
+	}
+	if ser.Every != 100 {
+		t.Errorf("sampling period = %d, want 100", ser.Every)
+	}
+	// Samples land on period boundaries with cumulative counters.
+	if ser.Ref[0] != 100 || ser.Misses[0] != 100 {
+		t.Errorf("first sample = (%d refs, %d misses), want (100, 100)", ser.Ref[0], ser.Misses[0])
+	}
+	last := ser.Len() - 1
+	if ser.Ref[last] != 500 {
+		t.Errorf("last sample at %d refs, want 500", ser.Ref[last])
+	}
+	if ser.Misses[last] != final.Misses {
+		t.Errorf("last sample misses %d, final stats %d", ser.Misses[last], final.Misses)
+	}
+	if ser.TrafficBytes[last] <= 0 || ser.TrafficBytes[last] > int64(final.TrafficBytes()) {
+		t.Errorf("last sample traffic %d, final %d", ser.TrafficBytes[last], final.TrafficBytes())
+	}
+}
+
+// A stream-driven Run must tick the sampler identically to RunRefs.
+func TestRefSamplerStreamRunMatchesRunRefs(t *testing.T) {
+	refs := make([]trace.Ref, 0, 300)
+	for i := 0; i < 300; i++ {
+		refs = append(refs, read(uint64(i%37)*32), write(uint64(i*64)))
+	}
+	run := func(useStream bool) attr.RefSeries {
+		col := attr.New(attr.Options{})
+		c, err := New(Config{Size: 1 << 10, BlockSize: 32, Assoc: 2, Attr: col, AttrEvery: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if useStream {
+			c.Run(trace.NewSliceStream(refs))
+		} else {
+			c.RunRefs(refs)
+		}
+		return col.Record().RefSeries["attr.cache.samples"]
+	}
+	a, b := run(true), run(false)
+	if a.Len() != b.Len() {
+		t.Fatalf("stream run recorded %d samples, slice run %d", a.Len(), b.Len())
+	}
+	for i := range a.Ref {
+		if a.Ref[i] != b.Ref[i] || a.Misses[i] != b.Misses[i] || a.TrafficBytes[i] != b.TrafficBytes[i] {
+			t.Fatalf("sample %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+// Without a collector the cache must behave identically and record
+// nothing (nil-safe hook contract).
+func TestNoCollectorIsNoOp(t *testing.T) {
+	refs := []trace.Ref{read(0), read(64), read(128), read(0)}
+	base, err := New(Config{Size: 1 << 10, BlockSize: 32, Assoc: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withNil, err := New(Config{Size: 1 << 10, BlockSize: 32, Assoc: 1, Attr: nil, AttrEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := base.RunRefs(refs), withNil.RunRefs(refs); a != b {
+		t.Errorf("nil collector changed stats: %+v vs %+v", a, b)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"memwall/internal/attr"
 	"memwall/internal/cpu"
 	"memwall/internal/isa"
 	"memwall/internal/mem"
@@ -91,6 +92,12 @@ type Machine struct {
 	// tracer, progress heartbeat) threaded through every simulation of
 	// this machine. The zero value disables all instrumentation.
 	Obs telemetry.Observation
+	// Attr, when non-nil, attaches time attribution (stall ledger +
+	// interval sampler, see internal/attr) to the full-system run only —
+	// the perfect and infinite-bandwidth runs are methodological
+	// scaffolding, and attributing them would double-count. Collectors
+	// are single-run state: give each concurrent Decompose its own.
+	Attr *attr.Collector
 }
 
 // PhaseWall records the wall-clock time each of the three simulations of
@@ -115,6 +122,10 @@ type DecomposeResult struct {
 	Full cpu.Result
 	// Wall is the simulator wall time per phase.
 	Wall PhaseWall
+	// Attr is the full run's attribution record when Machine.Attr was
+	// set (nil otherwise). It serialises with the result, so checkpoint
+	// ledgers replay it intact.
+	Attr *attr.RunRecord
 }
 
 // Decompose measures T_P, T_I, and T for program s on machine m by running
@@ -142,6 +153,10 @@ func Decompose(m Machine, s isa.Stream) (DecomposeResult, error) {
 		if mode == mem.Full {
 			cfg.Metrics = m.Obs.Metrics
 			ccfg.Metrics = m.Obs.Metrics
+			if m.Attr != nil {
+				cfg.Attr = true
+				ccfg.Attr = m.Attr
+			}
 		}
 		h, err := mem.New(cfg)
 		if err != nil {
@@ -183,5 +198,6 @@ func Decompose(m Machine, s isa.Stream) (DecomposeResult, error) {
 	if out.T < out.TI {
 		out.T = out.TI
 	}
+	out.Attr = m.Attr.Record()
 	return out, nil
 }

@@ -9,6 +9,7 @@ package cpu
 import (
 	"fmt"
 
+	"memwall/internal/attr"
 	"memwall/internal/isa"
 	"memwall/internal/mem"
 	"memwall/internal/telemetry"
@@ -66,6 +67,13 @@ type Config struct {
 	// ProgressEvery is the heartbeat granularity in instructions
 	// (default 1<<20 when Progress is set).
 	ProgressEvery int64
+	// Attr, when non-nil, receives time attribution for the run: a
+	// stall ledger charging every lost issue slot to a cause taxonomy
+	// and an interval sampler of core/memory state (see internal/attr).
+	// The hierarchy's Config.Attr must be set too so load waits can be
+	// split into latency and bandwidth causes. Nil disables attribution
+	// at no cost to the simulation loop.
+	Attr *attr.Collector
 }
 
 // Validate reports configuration errors.
@@ -144,11 +152,12 @@ func Run(cfg Config, h *mem.Hierarchy, s isa.Stream) (Result, error) {
 		return Result{}, err
 	}
 	hb := newHeartbeat(cfg)
+	probe := newAttrProbe(cfg.Attr, cfg, h)
 	var r Result
 	if cfg.OutOfOrder {
-		r = runOutOfOrder(cfg, h, s, hb)
+		r = runOutOfOrder(cfg, h, s, hb, probe)
 	} else {
-		r = runInOrder(cfg, h, s, hb)
+		r = runInOrder(cfg, h, s, hb, probe)
 	}
 	if hb != nil {
 		hb.beat(r.Insts, r.Cycles)
@@ -163,8 +172,9 @@ func Run(cfg Config, h *mem.Hierarchy, s isa.Stream) (Result, error) {
 // over the engine interface: the dynamic dispatch defeats escape analysis
 // of &res and costs several percent on the simulator's hottest loop.
 
-func runInOrder(cfg Config, h *mem.Hierarchy, s isa.Stream, hb *heartbeat) Result {
+func runInOrder(cfg Config, h *mem.Hierarchy, s isa.Stream, hb *heartbeat, probe *attrProbe) Result {
 	p := newInOrder(cfg, h)
+	p.probe = probe
 	var res Result
 	for {
 		in, ok := s.Next()
@@ -176,13 +186,20 @@ func runInOrder(cfg Config, h *mem.Hierarchy, s isa.Stream, hb *heartbeat) Resul
 		if hb != nil && res.Insts >= hb.next {
 			hb.beat(res.Insts, p.time())
 		}
+		if probe != nil && probe.sampler.Due(p.time()) {
+			probe.take(p.time(), res.Insts, 0)
+		}
 	}
 	res.Cycles = p.finish()
+	if probe != nil {
+		probe.finish(&res)
+	}
 	return res
 }
 
-func runOutOfOrder(cfg Config, h *mem.Hierarchy, s isa.Stream, hb *heartbeat) Result {
+func runOutOfOrder(cfg Config, h *mem.Hierarchy, s isa.Stream, hb *heartbeat, probe *attrProbe) Result {
 	p := newOutOfOrder(cfg, h)
+	p.probe = probe
 	var res Result
 	for {
 		in, ok := s.Next()
@@ -194,8 +211,14 @@ func runOutOfOrder(cfg Config, h *mem.Hierarchy, s isa.Stream, hb *heartbeat) Re
 		if hb != nil && res.Insts >= hb.next {
 			hb.beat(res.Insts, p.time())
 		}
+		if probe != nil && probe.sampler.Due(p.time()) {
+			probe.take(p.time(), res.Insts, p.ruuFill(p.time()))
+		}
 	}
 	res.Cycles = p.finish()
+	if probe != nil {
+		probe.finish(&res)
+	}
 	return res
 }
 

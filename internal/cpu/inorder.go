@@ -6,15 +6,17 @@
 package cpu
 
 import (
+	"memwall/internal/attr"
 	"memwall/internal/isa"
 	"memwall/internal/mem"
 )
 
 // inOrder tracks per-cycle issue bookkeeping.
 type inOrder struct {
-	cfg  Config
-	h    *mem.Hierarchy
-	pred Predictor
+	cfg   Config
+	h     *mem.Hierarchy
+	pred  Predictor
+	probe *attrProbe // nil unless Config.Attr is set
 
 	regReady [isa.NumRegs]int64
 	cycle    int64 // current issue cycle
@@ -67,14 +69,27 @@ func (p *inOrder) step(in isa.Inst, res *Result) {
 		// latency visible to the pipeline shows up).
 		if p.fetchReady >= ready {
 			res.StallFetch += t - p.cycle
+			if p.probe != nil {
+				p.probe.chargeGap(attr.CauseFrontend, t-p.cycle)
+			}
 		} else {
 			res.StallOperand += t - p.cycle
+			if p.probe != nil {
+				bind := in.Src1
+				if p.regReady[in.Src2] > p.regReady[in.Src1] {
+					bind = in.Src2
+				}
+				p.probe.chargeOperandGap(bind, t-p.cycle)
+			}
 		}
 	}
 	p.advanceTo(t)
 	if in.Op.IsMem() {
 		for p.lsIssued >= p.cfg.LSUnits {
 			res.StallLS++
+			if p.probe != nil {
+				p.probe.chargeGap(attr.CauseStructural, 1)
+			}
 			p.advanceTo(p.cycle + 1)
 		}
 		p.lsIssued++
@@ -88,6 +103,9 @@ func (p *inOrder) step(in isa.Inst, res *Result) {
 		complete = p.h.Load(in.Addr, p.cycle)
 		if in.Dst != 0 {
 			p.regReady[in.Dst] = complete
+		}
+		if p.probe != nil {
+			p.probe.noteLoad(in.Dst, p.h.LastLoadBWDelay())
 		}
 	case isa.Store:
 		res.Stores++
@@ -105,6 +123,9 @@ func (p *inOrder) step(in isa.Inst, res *Result) {
 		complete = p.cycle + Latency(in.Op)
 		if in.Dst != 0 {
 			p.regReady[in.Dst] = complete
+		}
+		if p.probe != nil {
+			p.probe.clearReg(in.Dst)
 		}
 	}
 	if complete > p.lastComplete {

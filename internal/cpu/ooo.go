@@ -15,6 +15,7 @@
 package cpu
 
 import (
+	"memwall/internal/attr"
 	"memwall/internal/isa"
 	"memwall/internal/mem"
 )
@@ -23,9 +24,10 @@ import (
 var debugHook func(in isa.Inst, disp, exec, complete int64)
 
 type outOfOrder struct {
-	cfg  Config
-	h    *mem.Hierarchy
-	pred Predictor
+	cfg   Config
+	h     *mem.Hierarchy
+	pred  Predictor
+	probe *attrProbe // nil unless Config.Attr is set
 
 	regReady [isa.NumRegs]int64
 
@@ -147,6 +149,18 @@ func (p *outOfOrder) lsUnit(t int64) int64 {
 	return p.lsSlots.reserve(t)
 }
 
+// ruuFill counts window slots still held by unretired instructions at
+// time t (attribution sampling only; called at most once per interval).
+func (p *outOfOrder) ruuFill(t int64) int64 {
+	var n int64
+	for _, r := range p.ruuRetire {
+		if r > t {
+			n++
+		}
+	}
+	return n
+}
+
 // retireAt computes the in-order retire time for an instruction completing
 // at time complete, honouring retire width.
 func (p *outOfOrder) retireAt(complete int64) int64 {
@@ -176,8 +190,14 @@ func (p *outOfOrder) step(in isa.Inst, res *Result) {
 		// (RUU or LSQ slot not yet retired).
 		if p.fetchReady >= bound {
 			res.StallFetch += gap
+			if p.probe != nil {
+				p.probe.chargeGap(attr.CauseFrontend, gap)
+			}
 		} else {
 			res.StallWindow += gap
+			if p.probe != nil {
+				p.probe.chargeGap(attr.CauseStructural, gap)
+			}
 		}
 	}
 	disp := p.dispatchAt(bound)
@@ -188,8 +208,18 @@ func (p *outOfOrder) step(in isa.Inst, res *Result) {
 		ready = r2
 	}
 	exec := maxI64(disp+1, ready)
+	// bind is the operand that held execution back (0 when none did);
+	// the probe uses it for provenance-based stall splitting.
+	var bind isa.Reg
 	if ready > disp+1 {
 		res.StallOperand += ready - (disp + 1)
+		if p.probe != nil {
+			bind = in.Src1
+			if p.regReady[in.Src2] > p.regReady[in.Src1] {
+				bind = in.Src2
+			}
+			p.probe.chargeOperandWait(bind, ready-(disp+1))
+		}
 	}
 
 	var complete int64
@@ -198,14 +228,23 @@ func (p *outOfOrder) step(in isa.Inst, res *Result) {
 		res.Loads++
 		issue := p.lsUnit(exec)
 		res.StallLS += issue - exec
+		if p.probe != nil {
+			p.probe.ledger.Charge(attr.CauseStructural, issue-exec)
+		}
 		complete = p.h.Load(in.Addr, issue)
 		if in.Dst != 0 {
 			p.regReady[in.Dst] = complete
+		}
+		if p.probe != nil {
+			p.probe.noteLoad(in.Dst, p.h.LastLoadBWDelay())
 		}
 	case isa.Store:
 		res.Stores++
 		issue := p.lsUnit(exec)
 		res.StallLS += issue - exec
+		if p.probe != nil {
+			p.probe.ledger.Charge(attr.CauseStructural, issue-exec)
+		}
 		complete = p.h.Store(in.Addr, issue)
 	case isa.Branch:
 		res.Branches++
@@ -222,6 +261,9 @@ func (p *outOfOrder) step(in isa.Inst, res *Result) {
 		complete = exec + Latency(in.Op)
 		if in.Dst != 0 {
 			p.regReady[in.Dst] = complete
+		}
+		if p.probe != nil {
+			p.probe.noteResult(in.Dst, bind)
 		}
 	}
 

@@ -17,6 +17,7 @@ package mem
 import (
 	"fmt"
 
+	"memwall/internal/attr"
 	"memwall/internal/telemetry"
 	"memwall/internal/units"
 )
@@ -121,6 +122,14 @@ type Config struct {
 	// nil to disable; the hot paths then skip the occupancy scans
 	// entirely.
 	Metrics *telemetry.Registry
+	// Attr enables per-access bandwidth attribution: alongside each
+	// load's actual completion time the hierarchy tracks a latency-only
+	// estimate (what an infinitely-wide-bus system would have delivered,
+	// the T_I analogue), exposing the difference via LastLoadBWDelay so
+	// the core's stall ledger can split load waits into latency vs
+	// bandwidth causes. Timing results are identical either way; the
+	// flag only gates the extra bookkeeping.
+	Attr bool
 }
 
 // ScratchpadConfig describes a software-managed on-chip memory region.
@@ -232,6 +241,9 @@ type line struct {
 type fill struct {
 	ready int64 // critical word available
 	done  int64 // full block arrived
+	// latReady is the critical-word time an infinitely-wide bus would
+	// have achieved (populated and read only when Config.Attr is set).
+	latReady int64
 }
 
 // level is the tag store + MSHRs of one cache level.
@@ -377,6 +389,12 @@ type Hierarchy struct {
 	// Config.Metrics is set (the occupancy scan is skipped when nil).
 	mshrOccL1 *telemetry.Histogram
 	mshrOccL2 *telemetry.Histogram
+	// lastLat/lastBW carry per-access attribution between l2Access/miss
+	// and Load when Config.Attr is set: lastLat is the latency-only
+	// completion estimate of the access being serviced, lastBW the
+	// bandwidth-attributable delay of the most recent Load.
+	lastLat int64
+	lastBW  int64
 }
 
 // New constructs a hierarchy for cfg.
@@ -504,6 +522,34 @@ func (h *Hierarchy) MSHROccupancy() (l1, l2 telemetry.HistogramSnapshot) {
 // Config returns the hierarchy configuration.
 func (h *Hierarchy) Config() Config { return h.cfg }
 
+// LastLoadBWDelay returns the bandwidth-attributable share, in cycles,
+// of the most recent Load's completion time: actual completion minus the
+// latency-only (infinitely-wide-bus) estimate, covering bus transfer
+// time and all contention (bus queueing, MSHR waits, bank conflicts).
+// Zero for hits and whenever Config.Attr is unset. The caller must
+// consume it before issuing the next access.
+func (h *Hierarchy) LastLoadBWDelay() int64 { return h.lastBW }
+
+// FillAttrSample populates the memory-system columns of an attribution
+// sample at simulated time now: cumulative bus busy cycles, L1 MSHR
+// occupancy, and the number of L1 misses still outstanding. The clock
+// and core columns are the caller's.
+func (h *Hierarchy) FillAttrSample(s *attr.Sample, now int64) {
+	if h.l1 == nil { // Perfect mode has no hierarchy state
+		return
+	}
+	s.L1L2BusBusy = h.l1l2.busy
+	s.MemBusBusy = h.mem.busy
+	s.MSHROccupancy = int64(h.l1.occupancy(now))
+	var out int64
+	for _, f := range h.l1.outstanding {
+		if f.done > now {
+			out++
+		}
+	}
+	s.OutstandingMisses = out
+}
+
 // l2Access services an L1 miss for the L1 block containing addr, starting
 // no earlier than t. It returns the cycle at which the critical word is
 // available to L1 and the cycle the L1 block transfer completes.
@@ -513,12 +559,19 @@ func (h *Hierarchy) l2Access(addr uint64, t int64) (critical, done int64) {
 	blk := l2.block(addr)
 	if l2.lookup(addr) != nil {
 		dataAt := t + h.cfg.L2.AccessCycles
+		lat := dataAt
 		if f, ok := l2.outstanding[blk]; ok && f.ready > dataAt {
 			// The block is still in flight from memory; forward when
 			// its critical word arrives.
 			dataAt = f.ready
+			if f.latReady > lat {
+				lat = f.latReady
+			}
 		} else {
 			h.stats.L2Hits++
+		}
+		if h.cfg.Attr {
+			h.lastLat = lat // an infinite bus forwards instantly
 		}
 		c, d := h.l1l2.transfer(dataAt, h.cfg.L1.BlockSize)
 		h.stats.L1L2TrafficBytes += units.Bytes(h.cfg.L1.BlockSize)
@@ -534,7 +587,15 @@ func (h *Hierarchy) l2Access(addr uint64, t int64) (critical, done int64) {
 	critMem, doneMem := h.mem.transfer(memData, h.cfg.L2.BlockSize)
 	h.stats.MemTrafficBytes += units.Bytes(h.cfg.L2.BlockSize)
 	l2.mshrBusy[slot] = doneMem
-	l2.outstanding[blk] = fill{ready: critMem, done: doneMem}
+	// Latency-only estimate: pure access times, no MSHR wait, no bank
+	// conflict, no bus transfer — the T_I path for this access. MSHR and
+	// bank queueing are contention, which attribution charges to
+	// bandwidth.
+	latCrit := t + h.cfg.L2.AccessCycles + h.cfg.MemAccessCycles
+	if h.cfg.Attr {
+		h.lastLat = latCrit
+	}
+	l2.outstanding[blk] = fill{ready: critMem, done: doneMem, latReady: latCrit}
 	if had, vd, _ := l2.installVictim(addr, false, false); had {
 		h.stats.L2Evictions++
 		if vd {
@@ -561,8 +622,14 @@ func (h *Hierarchy) miss(addr uint64, t int64, dirty, prefTag bool) int64 {
 	}
 	start, slot := l1.acquireMSHR(t)
 	crit, done := h.l2Access(addr, start)
+	if h.cfg.Attr {
+		// l2Access measured its latency-only estimate from start; shift
+		// it back to t so the L1 MSHR wait (start-t) counts as
+		// contention, not latency.
+		h.lastLat -= start - t
+	}
 	l1.mshrBusy[slot] = done
-	l1.outstanding[l1.block(addr)] = fill{ready: crit, done: done}
+	l1.outstanding[l1.block(addr)] = fill{ready: crit, done: done, latReady: h.lastLat}
 	had, vd, vblk := l1.installVictim(addr, dirty, prefTag)
 	if had {
 		h.stats.L1Evictions++
@@ -614,6 +681,9 @@ func (h *Hierarchy) prefetch(addr uint64, t int64) {
 // loaded value is available.
 func (h *Hierarchy) Load(addr uint64, now int64) int64 {
 	h.stats.Loads++
+	if h.cfg.Attr {
+		h.lastBW = 0 // hits and buffer/scratchpad paths have no bus share
+	}
 	if h.cfg.Mode == Perfect {
 		return now + 1
 	}
@@ -634,6 +704,15 @@ func (h *Hierarchy) Load(addr uint64, now int64) int64 {
 			// notes a lockup-free cache "may combine two misses with
 			// one response from memory").
 			h.stats.L1MergedMisses++
+			if h.cfg.Attr {
+				lat := f.latReady
+				if ready > lat {
+					lat = ready
+				}
+				if d := f.ready - lat; d > 0 {
+					h.lastBW = d
+				}
+			}
 			ready = f.ready
 		} else {
 			h.stats.L1Hits++
@@ -652,6 +731,13 @@ func (h *Hierarchy) Load(addr uint64, now int64) int64 {
 		return ready
 	}
 	ready := h.miss(addr, now+h.cfg.L1.AccessCycles, false, false)
+	if h.cfg.Attr {
+		// Snapshot the bandwidth share before the tagged prefetch below
+		// — its nested miss overwrites lastLat.
+		if d := ready - h.lastLat; d > 0 {
+			h.lastBW = d
+		}
+	}
 	if h.cfg.TaggedPrefetch {
 		h.prefetch(addr, now)
 	}

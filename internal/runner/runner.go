@@ -42,8 +42,10 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"memwall/internal/telemetry"
 )
@@ -102,6 +104,75 @@ type Config struct {
 	// (non-checkpoint-served) cell; it is the injection point for
 	// deterministic worker kills and context cancellation.
 	Fault Fault
+	// Cells, when non-nil, collects per-cell wall-clock statistics (wall
+	// time, queue wait, checkpoint-hit attribution) for run reports. Wall
+	// data is observability output only — it never feeds simulated
+	// results, so collecting it does not affect determinism.
+	Cells *CellStats
+}
+
+// CellRecord is one cell's wall-clock accounting.
+type CellRecord struct {
+	// Index is the cell's task index in the grid.
+	Index int `json:"index"`
+	// Key is the cell's stable identity (CellKey/TaskName), "" when the
+	// grid is anonymous.
+	Key string `json:"key,omitempty"`
+	// WallSeconds is the time the cell spent executing (including a
+	// checkpoint lookup that served it).
+	WallSeconds float64 `json:"wallSeconds"`
+	// QueueSeconds is the time between Map starting and this cell being
+	// claimed by a worker — the queue wait induced by the worker budget.
+	QueueSeconds float64 `json:"queueSeconds"`
+	// FromCheckpoint reports whether the cell was served from the
+	// checkpoint ledger instead of being computed.
+	FromCheckpoint bool `json:"fromCheckpoint,omitempty"`
+	// Failed reports whether the cell returned an error (or panicked).
+	Failed bool `json:"failed,omitempty"`
+}
+
+// CellStats collects CellRecords across one Map call. The zero value is
+// ready to use; a nil *CellStats disables collection (every method
+// no-ops), matching the repo's nil-safe hook convention. Safe for
+// concurrent use by the pool's workers.
+type CellStats struct {
+	mu      sync.Mutex
+	start   time.Time
+	records []CellRecord
+}
+
+func (s *CellStats) begin(n int, now time.Time) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.start = now
+	s.records = make([]CellRecord, 0, n)
+}
+
+func (s *CellStats) record(r CellRecord) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.records = append(s.records, r)
+}
+
+// Records returns the collected cell records sorted by task index (the
+// collection order depends on scheduling; the returned order does not).
+// It returns a copy — mutating it does not affect the collector.
+func (s *CellStats) Records() []CellRecord {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]CellRecord, len(s.records))
+	copy(out, s.records)
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
 }
 
 // Func is one grid task. It receives the task index and a tracer pinned
@@ -137,6 +208,9 @@ func Map[T any](ctx context.Context, cfg Config, n int, fn Func[T]) ([]T, error)
 		keyFn = cfg.TaskName
 	}
 
+	//memlint:allow detlint cell wall stats measure the simulator itself, not simulated time
+	cfg.Cells.begin(n, time.Now())
+
 	// cellID renders a task's identity for panic reports: the stable cell
 	// key when one exists (it names the benchmark/experiment), always the
 	// index.
@@ -153,6 +227,28 @@ func Map[T any](ctx context.Context, cfg Config, n int, fn Func[T]) ([]T, error)
 			sp = tracer.StartSpan(cfg.TaskName(i), nil)
 		}
 		defer sp.End()
+		fromCheckpoint := false
+		if cfg.Cells != nil {
+			//memlint:allow detlint cell wall stats measure the simulator itself, not simulated time
+			claimed := time.Now()
+			// Registered before the recover defer (deferred calls run
+			// LIFO) so the record sees the error the recover assigned.
+			defer func() {
+				//memlint:allow detlint cell wall stats measure the simulator itself, not simulated time
+				wall := time.Since(claimed)
+				rec := CellRecord{
+					Index:          i,
+					WallSeconds:    wall.Seconds(),
+					QueueSeconds:   claimed.Sub(cfg.Cells.start).Seconds(),
+					FromCheckpoint: fromCheckpoint,
+					Failed:         err != nil,
+				}
+				if keyFn != nil {
+					rec.Key = keyFn(i)
+				}
+				cfg.Cells.record(rec)
+			}()
+		}
 		// Worker boundary: a panicking cell must fail the run with its
 		// identity attached, never crash the process. Registered before
 		// Fault.CellStart so injected panics exercise the same path a
@@ -167,6 +263,7 @@ func Map[T any](ctx context.Context, cfg Config, n int, fn Func[T]) ([]T, error)
 			if b, ok := cfg.Checkpoint.Lookup(keyFn(i)); ok {
 				var cached T
 				if jerr := json.Unmarshal(b, &cached); jerr == nil {
+					fromCheckpoint = true
 					return cached, nil
 				}
 				// Undecodable cell (schema drift the fingerprint missed):

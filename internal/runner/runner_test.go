@@ -12,6 +12,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"memwall/internal/telemetry"
 )
@@ -341,5 +342,89 @@ func TestMapCheckpointSkipsFault(t *testing.T) {
 	}
 	if faults.Load() != 1 {
 		t.Errorf("fault hook ran %d times, want 1 (computed cell only)", faults.Load())
+	}
+}
+
+// TestMapCellStats: every cell (computed, checkpoint-served, failed)
+// lands in the stats with its key, wall time, and attribution; a nil
+// collector is a no-op.
+func TestMapCellStats(t *testing.T) {
+	for _, j := range []int{1, 4} {
+		led := &fakeLedger{serves: true, cells: map[string][]byte{"cell-1": []byte(`11`)}}
+		cells := &CellStats{}
+		_, err := Map(context.Background(), Config{
+			Workers:    j,
+			TaskName:   func(i int) string { return fmt.Sprintf("cell-%d", i) },
+			Checkpoint: led,
+			Cells:      cells,
+		}, 8, func(ctx context.Context, i int, _ *telemetry.Tracer) (int, error) {
+			return i, nil
+		})
+		if err != nil {
+			t.Fatalf("j=%d: %v", j, err)
+		}
+		recs := cells.Records()
+		if len(recs) != 8 {
+			t.Fatalf("j=%d: %d cell records, want 8", j, len(recs))
+		}
+		for i, r := range recs {
+			if r.Index != i {
+				t.Errorf("j=%d: record %d has index %d (Records must sort by index)", j, i, r.Index)
+			}
+			if want := fmt.Sprintf("cell-%d", i); r.Key != want {
+				t.Errorf("j=%d: record %d key = %q, want %q", j, i, r.Key, want)
+			}
+			if r.WallSeconds < 0 || r.QueueSeconds < 0 {
+				t.Errorf("j=%d: record %d has negative timing: %+v", j, i, r)
+			}
+			if r.FromCheckpoint != (i == 1) {
+				t.Errorf("j=%d: record %d fromCheckpoint = %v", j, i, r.FromCheckpoint)
+			}
+			if r.Failed {
+				t.Errorf("j=%d: record %d marked failed", j, i)
+			}
+		}
+	}
+}
+
+// TestMapCellStatsMarksFailures: a returned error and a panic both mark
+// the cell failed (the panic path must settle err before the record
+// defer observes it).
+func TestMapCellStatsMarksFailures(t *testing.T) {
+	for _, mode := range []string{"error", "panic"} {
+		t.Run(mode, func(t *testing.T) {
+			cells := &CellStats{}
+			_, err := Map(context.Background(), Config{Workers: 1, Cells: cells}, 2,
+				func(ctx context.Context, i int, _ *telemetry.Tracer) (int, error) {
+					if i == 1 {
+						if mode == "panic" {
+							panic("boom")
+						}
+						return 0, errors.New("boom")
+					}
+					return i, nil
+				})
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			recs := cells.Records()
+			if len(recs) != 2 {
+				t.Fatalf("%d cell records, want 2", len(recs))
+			}
+			if recs[0].Failed || !recs[1].Failed {
+				t.Errorf("failed flags = [%v %v], want [false true]", recs[0].Failed, recs[1].Failed)
+			}
+		})
+	}
+}
+
+// TestCellStatsNilSafe: the disabled hook costs nothing and panics on
+// nothing.
+func TestCellStatsNilSafe(t *testing.T) {
+	var s *CellStats
+	s.begin(4, time.Time{})
+	s.record(CellRecord{Index: 0})
+	if got := s.Records(); got != nil {
+		t.Errorf("nil CellStats returned records: %v", got)
 	}
 }

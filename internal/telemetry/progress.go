@@ -27,6 +27,7 @@ type Progress struct {
 	lastCycles int64
 	insts      int64
 	cycles     int64
+	beats      int64
 }
 
 // NewProgress returns a reporter writing to w at most once per interval
@@ -48,6 +49,7 @@ func (p *Progress) Beat(insts, cycles int64) {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.beats++
 	p.insts += insts
 	p.cycles += cycles
 	now := time.Now()
@@ -62,13 +64,32 @@ func (p *Progress) Beat(insts, cycles int64) {
 	p.lastCycles = p.cycles
 }
 
-// Done prints a final summary line with the whole-run average rate.
+// Totals returns the accumulated (instructions, cycles) across every
+// Beat so far. The third result is false when no Beat has ever arrived —
+// a run that simulated nothing, which callers (the -j grid summary)
+// must distinguish from a run that really retired zero instructions.
+func (p *Progress) Totals() (insts, cycles int64, ok bool) {
+	if p == nil {
+		return 0, 0, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.insts, p.cycles, p.beats > 0
+}
+
+// Done prints a final summary line with the whole-run average rate. A
+// reporter that never received a Beat prints nothing: there was no run
+// to summarise, and a spurious "0 insts in 0.00s" line would corrupt
+// grid output parsed by tests.
 func (p *Progress) Done() {
 	if p == nil {
 		return
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.beats == 0 {
+		return
+	}
 	dt := time.Since(p.start).Seconds()
 	if dt <= 0 {
 		dt = 1e-9

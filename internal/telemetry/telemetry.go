@@ -180,6 +180,42 @@ func (s HistogramSnapshot) Mean() float64 {
 	return s.Sum / float64(s.Count)
 }
 
+// Quantile returns the bucket upper bound containing the q-quantile
+// sample (q is clamped to [0, 1]). The second result is false when the
+// histogram is empty — there is no sample to rank, and returning a bare
+// 0 would be indistinguishable from a real zero-valued bound. A single
+// sample is its own quantile for every q. Samples in the overflow bucket
+// report the last finite bound (the histogram does not know how far
+// above it they fell); callers needing an exact tail must widen the
+// bounds.
+func (s HistogramSnapshot) Quantile(q float64) (float64, bool) {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0, false
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			if i >= len(s.Bounds) {
+				return s.Bounds[len(s.Bounds)-1], true
+			}
+			return s.Bounds[i], true
+		}
+	}
+	// Counts sum short of Count only via a torn concurrent snapshot;
+	// answer with the largest bound rather than failing.
+	return s.Bounds[len(s.Bounds)-1], true
+}
+
 // Snapshot copies the histogram's current state. A nil histogram yields a
 // zero snapshot.
 func (h *Histogram) Snapshot() HistogramSnapshot {

@@ -3,8 +3,10 @@ package telemetry
 import (
 	"bytes"
 	"encoding/json"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestCounter(t *testing.T) {
@@ -196,5 +198,119 @@ func BenchmarkHistogramEnabled(b *testing.B) {
 	h := NewHistogram(LinearBuckets(0, 1, 8))
 	for i := 0; i < b.N; i++ {
 		h.Observe(float64(i & 7))
+	}
+}
+
+// Quantile edge cases: an empty snapshot has no quantiles; a single
+// sample is every quantile; overflow samples report the last finite
+// bound.
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(LinearBuckets(1, 1, 4)) // bounds 1,2,3,4 + overflow
+
+	if v, ok := h.Snapshot().Quantile(0.5); ok || v != 0 {
+		t.Errorf("empty histogram Quantile = (%v, %v), want (0, false)", v, ok)
+	}
+
+	h.Observe(3)
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if v, ok := h.Snapshot().Quantile(q); !ok || v != 3 {
+			t.Errorf("single-sample Quantile(%v) = (%v, %v), want (3, true)", q, v, ok)
+		}
+	}
+
+	for _, v := range []float64{1, 1, 2, 4} {
+		h.Observe(v)
+	}
+	s := h.Snapshot() // samples 1,1,2,3,4
+	cases := []struct {
+		q    float64
+		want float64
+	}{{0, 1}, {0.2, 1}, {0.4, 1}, {0.6, 2}, {0.8, 3}, {1, 4}}
+	for _, c := range cases {
+		if v, ok := s.Quantile(c.q); !ok || v != c.want {
+			t.Errorf("Quantile(%v) = (%v, %v), want (%v, true)", c.q, v, ok, c.want)
+		}
+	}
+
+	h.Observe(99) // overflow bucket
+	if v, ok := h.Snapshot().Quantile(1); !ok || v != 4 {
+		t.Errorf("overflow Quantile(1) = (%v, %v), want last finite bound (4, true)", v, ok)
+	}
+
+	if v, ok := (HistogramSnapshot{}).Quantile(0.5); ok || v != 0 {
+		t.Errorf("zero snapshot Quantile = (%v, %v), want (0, false)", v, ok)
+	}
+}
+
+// Totals distinguishes "never beaten" from "beaten with zeros", and Done
+// on a never-beaten reporter prints nothing.
+func TestProgressTotalsAndSilentDone(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, time.Hour)
+
+	if _, _, ok := p.Totals(); ok {
+		t.Error("Totals ok before any Beat")
+	}
+	p.Done()
+	if buf.Len() != 0 {
+		t.Errorf("Done on never-beaten reporter printed %q", buf.String())
+	}
+
+	p.Beat(0, 0) // a real (if empty) run
+	if _, _, ok := p.Totals(); !ok {
+		t.Error("Totals not ok after a Beat")
+	}
+	p.Beat(10, 20)
+	if insts, cycles, _ := p.Totals(); insts != 10 || cycles != 20 {
+		t.Errorf("Totals = (%d, %d), want (10, 20)", insts, cycles)
+	}
+	p.Done()
+	if !strings.Contains(buf.String(), "progress: done") {
+		t.Errorf("Done after beats printed no summary: %q", buf.String())
+	}
+
+	var nilP *Progress
+	if _, _, ok := nilP.Totals(); ok {
+		t.Error("nil Progress Totals ok")
+	}
+}
+
+// Flush on a never-written sink reports (0, false); after events it
+// reports the count and pushes bytes through without closing.
+func TestEventSinkFlush(t *testing.T) {
+	var nilSink *EventSink
+	if n, ok := nilSink.Flush(); ok || n != 0 {
+		t.Errorf("nil sink Flush = (%d, %v), want (0, false)", n, ok)
+	}
+	if nilSink.Events() != 0 {
+		t.Error("nil sink has events")
+	}
+
+	var buf bytes.Buffer
+	s := NewEventSink(&buf)
+	if n, ok := s.Flush(); ok || n != 0 {
+		t.Errorf("fresh sink Flush = (%d, %v), want (0, false)", n, ok)
+	}
+
+	s.Emit(Event{Name: "a", Phase: "i"})
+	s.Emit(Event{Name: "b", Phase: "i"})
+	n, ok := s.Flush()
+	if !ok || n != 2 {
+		t.Errorf("Flush = (%d, %v), want (2, true)", n, ok)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 2 {
+		t.Errorf("flushed %d lines, want 2", got)
+	}
+	if s.Events() != 2 {
+		t.Errorf("Events = %d, want 2", s.Events())
+	}
+
+	// Flush must not close: the sink stays writable.
+	s.Emit(Event{Name: "c", Phase: "i"})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 3 {
+		t.Errorf("after close: %d lines, want 3", got)
 	}
 }

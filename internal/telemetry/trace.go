@@ -31,10 +31,11 @@ type Event struct {
 // EventSink serialises trace events to a writer, one JSON object per
 // line. It is safe for concurrent use. A nil *EventSink discards events.
 type EventSink struct {
-	mu    sync.Mutex
-	w     *bufio.Writer
-	c     io.Closer
-	start time.Time
+	mu     sync.Mutex
+	w      *bufio.Writer
+	c      io.Closer
+	start  time.Time
+	events int64
 }
 
 // NewEventSink wraps w. If w is also an io.Closer, Close closes it.
@@ -70,6 +71,32 @@ func (s *EventSink) Emit(e Event) {
 	defer s.mu.Unlock()
 	s.w.Write(b)
 	s.w.WriteByte('\n')
+	s.events++
+}
+
+// Events returns the number of events emitted so far (0 for nil).
+func (s *EventSink) Events() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.events
+}
+
+// Flush pushes buffered events to the underlying writer without closing
+// it and returns the emitted-event count. The second result is false
+// when the sink never received an event (including a nil sink): nothing
+// was written, so there is nothing on disk to point a viewer at — the
+// distinction callers need before telling the user a trace file exists.
+func (s *EventSink) Flush() (int64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.w.Flush()
+	return s.events, s.events > 0
 }
 
 // Close flushes buffered events and closes the underlying file, if any.
