@@ -91,7 +91,8 @@ func run(baseline string, maxRegress float64) error {
 			order = append(order, name)
 		}
 		// Running average over repeated -count runs.
-		r.NsPerOp = (r.NsPerOp*float64(r.runs) + ns) / float64(r.runs+1)
+		runs := max(1, r.runs+1)
+		r.NsPerOp = (r.NsPerOp*float64(r.runs) + ns) / float64(runs)
 		r.runs++
 		r.Iterations += iters
 	}

@@ -1,15 +1,34 @@
 // Command memlint drives the memwall analyzer suite (internal/analysis)
 // over Go packages, multichecker-style. It is the static half of the
-// repo's reproducibility story: `make lint` and CI run it over ./... and
-// fail on any diagnostic.
+// repo's reproducibility story: `make lint` and CI run it over ./... with
+// the committed lint.baseline.json ratchet and fail on any finding not
+// already grandfathered there.
 //
 // Usage:
 //
-//	memlint [-run name[,name...]] [packages]
+//	memlint [-run name[,name...]] [-json] [-baseline file] [-write-baseline file] [-suggest] [packages]
 //
 // Packages default to ./... . -run restricts the suite to the named
-// analyzers (detlint, unitlint, telemetrylint, registrylint). Exit
-// status is 1 when diagnostics are reported, 2 on a driver error.
+// analyzers (detlint, streamlint, unitlint, telemetrylint, registrylint,
+// hotlint, guardlint). Exit status is 1 when unbaselined diagnostics are
+// reported, 2 on a driver error.
+//
+// -json prints every finding as a sorted JSON array (the format stored
+// in lint.baseline.json) instead of the human one-per-line form.
+//
+// -baseline compares findings against a committed baseline: findings
+// covered by the baseline are grandfathered (matched by file, analyzer,
+// and message — line drift from unrelated edits does not trip the gate),
+// new findings fail, and entries the code no longer produces are listed
+// as ratchet candidates. Regenerate with `make lint-baseline` after
+// fixing debt; never edit the file by hand.
+//
+// -write-baseline regenerates the baseline file from the current
+// findings and exits 0.
+//
+// -suggest prints, for each finding that would fail, a ready-to-paste
+// //memlint:allow line for triage. Prefer fixing or baselining; the
+// pragma is for deliberate single-site exceptions.
 //
 // Diagnostics can be suppressed at a single site with a
 // //memlint:allow <analyzer> [justification] comment on the same line or
@@ -24,6 +43,8 @@ import (
 
 	"memwall/internal/analysis"
 	"memwall/internal/analysis/detlint"
+	"memwall/internal/analysis/guardlint"
+	"memwall/internal/analysis/hotlint"
 	"memwall/internal/analysis/load"
 	"memwall/internal/analysis/registrylint"
 	"memwall/internal/analysis/streamlint"
@@ -38,12 +59,18 @@ var suite = []*analysis.Analyzer{
 	unitlint.Analyzer,
 	telemetrylint.Analyzer,
 	registrylint.Analyzer,
+	hotlint.Analyzer,
+	guardlint.Analyzer,
 }
 
 func main() {
 	runFlag := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	jsonFlag := flag.Bool("json", false, "emit findings as sorted JSON (the lint.baseline.json format)")
+	baselineFlag := flag.String("baseline", "", "compare findings against this committed baseline file")
+	writeBaselineFlag := flag.String("write-baseline", "", "regenerate the baseline file from current findings and exit")
+	suggestFlag := flag.Bool("suggest", false, "print ready-to-paste //memlint:allow pragmas for failing findings")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: memlint [-run name[,name...]] [packages]\n\nanalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: memlint [-run name[,name...]] [-json] [-baseline file] [-write-baseline file] [-suggest] [packages]\n\nanalyzers:\n")
 		for _, a := range suite {
 			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
 		}
@@ -82,12 +109,73 @@ func main() {
 		fmt.Fprintf(os.Stderr, "memlint: %v\n", err)
 		os.Exit(2)
 	}
-	if len(diags) == 0 {
+
+	root, err := os.Getwd()
+	if err != nil {
+		root = ""
+	}
+	var fset = pkgs[0].Fset
+	findings := analysis.ToJSON(fset, root, diags)
+
+	if *writeBaselineFlag != "" {
+		data, err := analysis.MarshalBaseline(findings)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memlint: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*writeBaselineFlag, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "memlint: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "memlint: wrote %d findings to %s\n", len(findings), *writeBaselineFlag)
 		return
 	}
-	fset := pkgs[0].Fset
-	for _, d := range diags {
-		fmt.Printf("%s: [%s] %s\n", fset.Position(d.Pos), d.Analyzer, d.Message)
+
+	if *jsonFlag {
+		data, err := analysis.MarshalBaseline(findings)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memlint: %v\n", err)
+			os.Exit(2)
+		}
+		os.Stdout.Write(data)
+		if len(findings) > 0 && *baselineFlag == "" {
+			os.Exit(1)
+		}
+	}
+
+	failing := findings
+	if *baselineFlag != "" {
+		data, err := os.ReadFile(*baselineFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memlint: %v\n", err)
+			os.Exit(2)
+		}
+		base, err := analysis.ParseBaseline(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memlint: %s: %v\n", *baselineFlag, err)
+			os.Exit(2)
+		}
+		unbaselined, fixed := analysis.DiffBaseline(findings, base)
+		for _, f := range fixed {
+			fmt.Fprintf(os.Stderr, "memlint: ratchet candidate (fixed, still baselined): %s [%s] %s\n", f.File, f.Analyzer, f.Message)
+		}
+		failing = unbaselined
+	}
+
+	if len(failing) == 0 {
+		return
+	}
+	if !*jsonFlag {
+		for _, f := range failing {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
+	}
+	if *suggestFlag {
+		fmt.Println()
+		fmt.Println("// suggested pragmas (paste on the flagged line or the line above):")
+		for _, f := range failing {
+			fmt.Printf("%s:%d: //memlint:allow %s <justify, or fix instead>\n", f.File, f.Line, f.Analyzer)
+		}
 	}
 	os.Exit(1)
 }

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"memwall/internal/analysis"
+	"memwall/internal/analysis/load"
+)
+
+// TestBaselineMatchesFreshRun re-runs the full analyzer suite over the
+// module and requires the committed lint.baseline.json to be exactly the
+// `memlint -json` output — byte for byte. A mismatch in either direction
+// fails: new findings must be fixed or deliberately baselined, and fixed
+// findings must be ratcheted out with `make lint-baseline`.
+func TestBaselineMatchesFreshRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped with -short")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := load.Packages(root, "./...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags, err := analysis.Run(suite, pkgs)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	fresh, err := analysis.MarshalBaseline(analysis.ToJSON(pkgs[0].Fset, root, diags))
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed, err := os.ReadFile(filepath.Join(root, "lint.baseline.json"))
+	if err != nil {
+		t.Fatalf("read committed baseline: %v", err)
+	}
+	if string(fresh) != string(committed) {
+		t.Errorf("lint.baseline.json is stale: fresh `memlint -json` output differs.\nRegenerate with `make lint-baseline` (after fixing any NEW findings).\n--- committed ---\n%s\n--- fresh ---\n%s", committed, fresh)
+	}
+}

@@ -75,12 +75,15 @@ func runCMP(args []string) error {
 			baseIPC = res.Throughput()
 		}
 		_ = baseIPC
+		if baseCycles < 1 {
+			baseCycles = 1 // the n==1 pass ran first and any run takes >= 1 cycle
+		}
 		t.AddRow(fmt.Sprintf("%d", n),
 			fmt.Sprintf("%d", res.Cycles),
 			fmt.Sprintf("%.2f", res.Throughput()),
 			fmt.Sprintf("%.2fx", float64(res.Cycles)/float64(baseCycles)),
 			fmt.Sprintf("%.1f", float64(res.Mem.MemTrafficBytes)/1e6),
-			fmt.Sprintf("%.1f", float64(res.Mem.MemTrafficBytes)/1e6/float64(n)))
+			fmt.Sprintf("%.1f", float64(res.Mem.MemTrafficBytes)/1e6/float64(max(1, n))))
 	}
 	fmt.Println(t)
 	fmt.Println("Paper, Section 2.2: \"If one processor loses performance due to limited")
@@ -177,6 +180,9 @@ func runAblate(args []string) error {
 		}
 		base, _ := run(0)
 		with, hits := run(4)
+		if with < 1 {
+			with = 1 // a run takes at least one cycle
+		}
 		vt.AddRow(name,
 			fmt.Sprintf("%d", base),
 			fmt.Sprintf("%d", with),

@@ -70,7 +70,7 @@ func runScratchpad(args []string) error {
 		if err != nil {
 			return err
 		}
-		speedup := float64(base.T) / float64(res.T)
+		speedup := float64(base.T) / float64(max(1, res.T))
 		t.AddRow(region.Name, tablefmt.Bytes(int64(region.Size)),
 			fmt.Sprintf("%d", res.T),
 			fmt.Sprintf("%.2fx", speedup),

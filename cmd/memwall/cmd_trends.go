@@ -100,14 +100,20 @@ func runFig2(args []string) error {
 	pts := iocomplexity.Figure2(*proc, *pin, *mem)
 	t := tablefmt.New("Figure 2: processing vs bandwidth changes (normalised to 1984)",
 		"year", "processor b/w", "off-chip b/w", "gap(1)", "computation", "traffic", "gap(2)")
+	ratio := func(num, den float64) float64 {
+		if den == 0 {
+			return 0
+		}
+		return num / den
+	}
 	for _, p := range pts {
 		t.AddRow(fmt.Sprintf("%.0f", p.Year),
 			fmt.Sprintf("%.2f", p.ProcessorBW),
 			fmt.Sprintf("%.2f", p.OffChipBW),
-			fmt.Sprintf("%.2f", p.ProcessorBW/p.OffChipBW),
+			fmt.Sprintf("%.2f", ratio(p.ProcessorBW, p.OffChipBW)),
 			fmt.Sprintf("%.2f", p.Computation),
 			fmt.Sprintf("%.3f", p.Traffic),
-			fmt.Sprintf("%.2f", p.Computation/p.Traffic))
+			fmt.Sprintf("%.2f", ratio(p.Computation, p.Traffic)))
 	}
 	fmt.Println(t)
 	fmt.Println("gap(1) is processor-vs-pin bandwidth; gap(2) is computation-vs-traffic.")

@@ -43,7 +43,13 @@ type Analyzer struct {
 	// Doc is the one-paragraph description shown by `memlint -help`.
 	Doc string
 	// Run inspects one package and reports diagnostics via the pass.
+	// Exactly one of Run and RunModule must be set.
 	Run func(*Pass) error
+	// RunModule, when set, makes the analyzer module-scoped: it is
+	// invoked once with every loaded package, so it can build
+	// cross-package structures (the call graph) that a per-package pass
+	// cannot see.
+	RunModule func(*ModulePass) error
 }
 
 // Pass hands one type-checked package to an analyzer.
@@ -84,6 +90,43 @@ func (p *Pass) Report(d Diagnostic) {
 
 // Reportf emits a formatted diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ModulePass hands every loaded package to a module-scoped analyzer.
+// All packages come from one loader invocation and therefore share one
+// token.FileSet.
+type ModulePass struct {
+	// Analyzer is the pass being run.
+	Analyzer *Analyzer
+	// Fset is the FileSet shared by all packages.
+	Fset *token.FileSet
+	// Pkgs are the loaded, type-checked packages.
+	Pkgs []*Package
+	// report receives diagnostics (suppression is applied by the driver).
+	report func(Diagnostic)
+}
+
+// NewModulePass assembles a ModulePass; report receives every diagnostic
+// unfiltered.
+func NewModulePass(a *Analyzer, pkgs []*Package, report func(Diagnostic)) *ModulePass {
+	mp := &ModulePass{Analyzer: a, Pkgs: pkgs, report: report}
+	if len(pkgs) > 0 {
+		mp.Fset = pkgs[0].Fset
+	}
+	return mp
+}
+
+// Report emits a diagnostic.
+func (p *ModulePass) Report(d Diagnostic) {
+	if d.Analyzer == "" {
+		d.Analyzer = p.Analyzer.Name
+	}
+	p.report(d)
+}
+
+// Reportf emits a formatted diagnostic at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
 	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }
 
@@ -148,14 +191,23 @@ type Package struct {
 	TypesInfo *types.Info
 }
 
-// Run applies every analyzer to every package, filters diagnostics
-// through the //memlint:allow pragmas, and returns the survivors sorted
-// by position. Analyzer errors (not diagnostics) abort the run.
+// Run applies every analyzer to every package (module-scoped analyzers
+// run once over all packages), filters diagnostics through the
+// //memlint:allow pragmas, and returns the survivors sorted by position.
+// Analyzer errors (not diagnostics) abort the run.
 func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var perPkg, modular []*Analyzer
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			modular = append(modular, a)
+		} else {
+			perPkg = append(perPkg, a)
+		}
+	}
 	var out []Diagnostic
 	for _, pkg := range pkgs {
 		sup := collectSuppressions(pkg.Fset, pkg.Files)
-		for _, a := range analyzers {
+		for _, a := range perPkg {
 			var diags []Diagnostic
 			pass := NewPass(a, pkg.Fset, pkg.Files, pkg.Types, pkg.TypesInfo, func(d Diagnostic) {
 				diags = append(diags, d)
@@ -165,6 +217,31 @@ func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 			}
 			for _, d := range diags {
 				if !sup.allows(pkg.Fset, d.Pos, d.Analyzer) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	if len(modular) > 0 && len(pkgs) > 0 {
+		// Suppressions apply per file; merge every package's map (files
+		// are disjoint, so this is a plain union).
+		allSup := suppressions{}
+		for _, pkg := range pkgs {
+			for file, byLine := range collectSuppressions(pkg.Fset, pkg.Files) {
+				allSup[file] = byLine
+			}
+		}
+		fset := pkgs[0].Fset
+		for _, a := range modular {
+			var diags []Diagnostic
+			mp := NewModulePass(a, pkgs, func(d Diagnostic) {
+				diags = append(diags, d)
+			})
+			if err := a.RunModule(mp); err != nil {
+				return nil, fmt.Errorf("%s: %w", a.Name, err)
+			}
+			for _, d := range diags {
+				if !allSup.allows(fset, d.Pos, d.Analyzer) {
 					out = append(out, d)
 				}
 			}

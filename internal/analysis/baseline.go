@@ -1,0 +1,150 @@
+// The ratcheting baseline: a committed JSON snapshot of known findings
+// that grandfathers the existing debt while failing CI on anything new.
+// Shrinking the baseline (fix a finding, regenerate) is the mechanized
+// on-ramp for the hot-path rewrite — the ratchet only turns one way.
+//
+// Matching is by (File, Analyzer, Message) multiset, deliberately
+// ignoring line and column: unrelated edits move findings around a file
+// without changing what they say, and a baseline that broke on every
+// line shift would be regenerated reflexively rather than read. An
+// edit that changes a finding's message (or adds a second identical
+// one) does trip the gate.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+)
+
+// JSONDiagnostic is the machine-readable form of one finding, as emitted
+// by `memlint -json` and stored in lint.baseline.json. File is
+// module-relative with forward slashes so the baseline is stable across
+// checkouts and platforms.
+type JSONDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// Baseline is the committed set of grandfathered findings.
+type Baseline struct {
+	// Comment explains the file's purpose to a reader who opens it.
+	Comment string `json:"_comment,omitempty"`
+	// Findings are the grandfathered diagnostics, sorted by
+	// (File, Line, Col, Analyzer, Message).
+	Findings []JSONDiagnostic `json:"findings"`
+}
+
+// ToJSON converts driver diagnostics to their stable JSON form. root is
+// the module root used to relativize file paths.
+func ToJSON(fset *token.FileSet, root string, diags []Diagnostic) []JSONDiagnostic {
+	out := make([]JSONDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		file := p.Filename
+		if root != "" {
+			if rel, err := filepath.Rel(root, file); err == nil {
+				file = rel
+			}
+		}
+		out = append(out, JSONDiagnostic{
+			File:     filepath.ToSlash(file),
+			Line:     p.Line,
+			Col:      p.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	sortJSON(out)
+	return out
+}
+
+func sortJSON(ds []JSONDiagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// MarshalBaseline renders a baseline as canonical indented JSON with a
+// trailing newline, suitable for committing.
+func MarshalBaseline(findings []JSONDiagnostic) ([]byte, error) {
+	b := Baseline{
+		Comment: "memlint ratchet: grandfathered findings. New findings fail CI; " +
+			"fix one, then regenerate with `make lint-baseline`. Never add to this file by hand.",
+		Findings: findings,
+	}
+	if b.Findings == nil {
+		b.Findings = []JSONDiagnostic{}
+	}
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// ParseBaseline reads a committed baseline file.
+func ParseBaseline(data []byte) (*Baseline, error) {
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("parsing baseline: %w", err)
+	}
+	return &b, nil
+}
+
+// baselineKey is the identity a finding is matched under: position
+// within the file is ignored so edits that shift lines do not trip the
+// gate.
+type baselineKey struct {
+	File, Analyzer, Message string
+}
+
+// DiffBaseline compares fresh findings against the baseline. It returns
+// the findings not covered by the baseline (new debt — these fail the
+// gate) and the baseline entries no longer present (fixed debt — the
+// baseline should be regenerated to ratchet down, but this does not fail
+// the gate on its own).
+func DiffBaseline(fresh []JSONDiagnostic, base *Baseline) (unbaselined, fixed []JSONDiagnostic) {
+	budget := map[baselineKey]int{}
+	for _, f := range base.Findings {
+		budget[baselineKey{f.File, f.Analyzer, f.Message}]++
+	}
+	for _, f := range fresh {
+		k := baselineKey{f.File, f.Analyzer, f.Message}
+		if budget[k] > 0 {
+			budget[k]--
+		} else {
+			unbaselined = append(unbaselined, f)
+		}
+	}
+	// Whatever budget remains is fixed debt; report one representative
+	// entry per remaining count.
+	for _, f := range base.Findings {
+		k := baselineKey{f.File, f.Analyzer, f.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			fixed = append(fixed, f)
+		}
+	}
+	sortJSON(unbaselined)
+	sortJSON(fixed)
+	return unbaselined, fixed
+}

@@ -1,0 +1,327 @@
+// A module-level call graph over go/types, the fact layer behind
+// hotlint's reachability analysis. Nodes are keyed by stable symbol
+// strings (package path + receiver + name) rather than types.Object
+// identity, because the loader type-checks target packages from source
+// while their dependencies come from export data — the same function is
+// represented by distinct objects in the two universes, but renders to
+// the same symbol.
+//
+// Edge resolution is deliberately conservative in the direction that
+// keeps hot paths covered:
+//
+//   - static calls and concrete method calls resolve exactly;
+//   - a reference to a function or method *value* (method values,
+//     callbacks handed to sort.Slice, funcs stored in tables) counts as a
+//     call edge from the referencing function — if a hot function takes
+//     the value, the target is assumed callable on the hot path;
+//   - a call through an interface method fans out to every method of the
+//     same name and parameter/result arity declared on any type in the
+//     analyzed packages (structural Implements checks cannot be trusted
+//     across the source/export universe split, name+arity can);
+//   - function literals are attributed to their enclosing declared
+//     function: calls inside a closure belong to the function that built
+//     the closure.
+//
+// Hot-path membership is driven by two annotations on function
+// declarations (in the doc comment group, directive style):
+//
+//	//memwall:hot   — the function is a hot root; it and everything
+//	                  reachable from it form the hot set.
+//	//memwall:cold  — the function is excluded from the hot set even if
+//	                  reachable (error formatting, panic helpers); the
+//	                  walk does not continue through it.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Annotation comment prefixes recognised on function declarations.
+const (
+	HotPragma  = "//memwall:hot"
+	ColdPragma = "//memwall:cold"
+)
+
+// CallNode is one declared function or method in the analyzed packages.
+type CallNode struct {
+	// Sym is the full symbol, e.g. "memwall/internal/mem.(*Hierarchy).Load".
+	Sym string
+	// ShortSym trims the path to the package base name, e.g.
+	// "mem.(*Hierarchy).Load" — the form used in diagnostics.
+	ShortSym string
+	// Decl is the function's declaration (with body).
+	Decl *ast.FuncDecl
+	// Pkg is the analyzed package declaring the function.
+	Pkg *Package
+	// Hot and Cold record the //memwall:hot and //memwall:cold
+	// annotations.
+	Hot, Cold bool
+	// Callees are the symbols of every resolved outgoing edge, sorted.
+	Callees []string
+
+	callees map[string]bool
+}
+
+// CallGraph is the module-level call graph.
+type CallGraph struct {
+	// Nodes maps symbols to declared functions. Edges may name symbols
+	// with no node (externally declared callees); reachability simply
+	// stops there.
+	Nodes map[string]*CallNode
+
+	// methodsByName indexes declared methods for interface-call fan-out.
+	methodsByName map[string][]methodDecl
+}
+
+type methodDecl struct {
+	sym             string
+	params, results int
+}
+
+// BuildCallGraph constructs the call graph of the given packages (all
+// from one loader invocation).
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{Nodes: map[string]*CallNode{}, methodsByName: map[string][]methodDecl{}}
+	// Pass 1: declare nodes, record annotations, index methods.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj, ok := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				sym := FuncSymbol(obj)
+				n := &CallNode{
+					Sym:      sym,
+					ShortSym: shortSymbol(sym),
+					Decl:     fd,
+					Pkg:      pkg,
+					callees:  map[string]bool{},
+				}
+				n.Hot = hasDirective(fd.Doc, HotPragma)
+				n.Cold = hasDirective(fd.Doc, ColdPragma)
+				g.Nodes[sym] = n
+				if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+					g.methodsByName[obj.Name()] = append(g.methodsByName[obj.Name()], methodDecl{
+						sym:     sym,
+						params:  sig.Params().Len(),
+						results: sig.Results().Len(),
+					})
+				}
+			}
+		}
+	}
+	// Pass 2: resolve edges.
+	for _, n := range g.Nodes {
+		if n.Decl.Body != nil {
+			g.addEdges(n)
+		}
+	}
+	for _, n := range g.Nodes {
+		n.Callees = make([]string, 0, len(n.callees))
+		for c := range n.callees {
+			n.Callees = append(n.Callees, c)
+		}
+		sort.Strings(n.Callees)
+	}
+	return g
+}
+
+// addEdges walks one function body (function literals included) and
+// records outgoing edges.
+func (g *CallGraph) addEdges(n *CallNode) {
+	info := n.Pkg.TypesInfo
+	// funExprs remembers the exact expressions used in call position so
+	// bare references to the same functions elsewhere are recognised as
+	// value references.
+	funExprs := map[ast.Expr]bool{}
+	ast.Inspect(n.Decl.Body, func(nd ast.Node) bool {
+		call, ok := nd.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fun := ast.Unparen(call.Fun)
+		funExprs[fun] = true
+		if tv, ok := info.Types[fun]; ok && tv.IsType() {
+			return true // conversion, not a call
+		}
+		switch fun := fun.(type) {
+		case *ast.Ident:
+			if fn, ok := info.Uses[fun].(*types.Func); ok {
+				n.callees[FuncSymbol(fn)] = true
+			}
+		case *ast.SelectorExpr:
+			if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+				fn, ok := sel.Obj().(*types.Func)
+				if !ok {
+					break
+				}
+				if types.IsInterface(sel.Recv()) {
+					g.fanOutInterfaceCall(n, fn)
+				} else {
+					n.callees[FuncSymbol(fn)] = true
+				}
+			} else if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+				// Qualified call pkg.Func or method expression T.M.
+				n.callees[FuncSymbol(fn)] = true
+			}
+		}
+		return true
+	})
+	// Bare function/method value references (not in call position).
+	ast.Inspect(n.Decl.Body, func(nd ast.Node) bool {
+		switch e := nd.(type) {
+		case *ast.Ident:
+			if fn, ok := info.Uses[e].(*types.Func); ok && !funExprs[ast.Expr(e)] {
+				n.callees[FuncSymbol(fn)] = true
+			}
+		case *ast.SelectorExpr:
+			if funExprs[ast.Expr(e)] {
+				return true
+			}
+			if sel, ok := info.Selections[e]; ok && sel.Kind() == types.MethodVal {
+				if fn, ok := sel.Obj().(*types.Func); ok {
+					if types.IsInterface(sel.Recv()) {
+						g.fanOutInterfaceCall(n, fn)
+					} else {
+						n.callees[FuncSymbol(fn)] = true
+					}
+				}
+			} else if fn, ok := info.Uses[e.Sel].(*types.Func); ok {
+				n.callees[FuncSymbol(fn)] = true
+			}
+		}
+		return true
+	})
+}
+
+// fanOutInterfaceCall adds edges for a call through interface method fn:
+// every declared method with the same name and arity is a potential
+// target.
+func (g *CallGraph) fanOutInterfaceCall(n *CallNode, fn *types.Func) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	np, nr := sig.Params().Len(), sig.Results().Len()
+	for _, m := range g.methodsByName[fn.Name()] {
+		if m.params == np && m.results == nr {
+			n.callees[m.sym] = true
+		}
+	}
+}
+
+// HotInfo records why a function is in the hot set.
+type HotInfo struct {
+	// Root is the ShortSym of the //memwall:hot root this function was
+	// first reached from (itself, for a root).
+	Root string
+}
+
+// HotSet returns the hot functions: every //memwall:hot root plus
+// everything reachable from one through call edges, excluding
+// //memwall:cold functions (the walk stops at them). Deterministic:
+// roots and neighbours are visited in sorted symbol order.
+func (g *CallGraph) HotSet() map[string]HotInfo {
+	var roots []string
+	for sym, n := range g.Nodes {
+		if n.Hot && !n.Cold {
+			roots = append(roots, sym)
+		}
+	}
+	sort.Strings(roots)
+	hot := map[string]HotInfo{}
+	for _, root := range roots {
+		rootShort := g.Nodes[root].ShortSym
+		queue := []string{root}
+		for len(queue) > 0 {
+			sym := queue[0]
+			queue = queue[1:]
+			if _, seen := hot[sym]; seen {
+				continue
+			}
+			n := g.Nodes[sym]
+			if n == nil || n.Cold {
+				continue
+			}
+			hot[sym] = HotInfo{Root: rootShort}
+			queue = append(queue, n.Callees...)
+		}
+	}
+	return hot
+}
+
+// FuncSymbol renders a stable symbol for a function or method that is
+// identical whether the object came from source type-checking or export
+// data.
+func FuncSymbol(fn *types.Func) string {
+	name := fn.Name()
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		ptr := ""
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+			ptr = "*"
+		}
+		if named, isNamed := t.(*types.Named); isNamed {
+			obj := named.Obj()
+			pkgPath := ""
+			if obj.Pkg() != nil {
+				pkgPath = obj.Pkg().Path()
+			}
+			return pkgPath + ".(" + ptr + obj.Name() + ")." + name
+		}
+		return fn.FullName()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Path() + "." + name
+	}
+	return name
+}
+
+// shortSymbol trims a symbol's package path to its base name.
+func shortSymbol(sym string) string {
+	// The path part ends at the last '/' before the first '.' after it.
+	slash := strings.LastIndex(sym, "/")
+	if slash < 0 {
+		return sym
+	}
+	return sym[slash+1:]
+}
+
+// hasDirective reports whether a doc comment group contains a directive
+// comment with the given prefix.
+func hasDirective(doc *ast.CommentGroup, prefix string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if c.Text == prefix || strings.HasPrefix(c.Text, prefix+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// DirectivePos returns the position of the first directive comment with
+// the given prefix in doc, or token.NoPos.
+func DirectivePos(doc *ast.CommentGroup, prefix string) token.Pos {
+	if doc == nil {
+		return token.NoPos
+	}
+	for _, c := range doc.List {
+		if c.Text == prefix || strings.HasPrefix(c.Text, prefix+" ") {
+			return c.Pos()
+		}
+	}
+	return token.NoPos
+}

@@ -1,0 +1,204 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// typecheck parses and type-checks a single-file package and wraps it as
+// an analysis.Package (stdlib imports resolve through the source
+// importer).
+func typecheck(t *testing.T, path, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path+".go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(path, fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return &Package{PkgPath: path, Fset: fset, Files: []*ast.File{file}, Types: pkg, TypesInfo: info}
+}
+
+const graphSrc = `package g
+
+type ring struct{ n int }
+
+//memwall:hot
+func step(r *ring, p pred) {
+	advance(r)
+	r.wrap()
+	p.take(1)
+	cb := r.wrap      // method value: edge even without a call
+	defer func() {    // deferred closure: its calls belong to step
+		cleanup(r)
+	}()
+	_ = cb
+}
+
+func advance(r *ring) { r.n++ }
+
+func (r *ring) wrap() {
+	if r.n == 0 {
+		die()
+	}
+}
+
+//memwall:cold
+func die() { helperOfDie() }
+
+func helperOfDie() {}
+
+func cleanup(r *ring) { variadic(1, 2, 3) }
+
+func variadic(xs ...int) {}
+
+type pred interface{ take(int) bool }
+
+type bimodal struct{}
+
+func (bimodal) take(x int) bool { return x > 0 }
+
+// decoy has the right name but the wrong arity; interface fan-out must
+// skip it.
+type decoy struct{}
+
+func (decoy) take(x, y int) bool { return false }
+
+func unreached() { advance(nil) }
+`
+
+func buildGraph(t *testing.T) *CallGraph {
+	t.Helper()
+	return BuildCallGraph([]*Package{typecheck(t, "g", graphSrc)})
+}
+
+func TestCallGraphStaticAndMethodEdges(t *testing.T) {
+	g := buildGraph(t)
+	step := g.Nodes["g.step"]
+	if step == nil {
+		t.Fatal("g.step not in graph")
+	}
+	wantEdges := []string{"g.advance", "g.(*ring).wrap", "g.cleanup"}
+	for _, want := range wantEdges {
+		found := false
+		for _, c := range step.Callees {
+			if c == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("step missing edge to %s; callees = %v", want, step.Callees)
+		}
+	}
+}
+
+func TestCallGraphInterfaceFanOutByArity(t *testing.T) {
+	g := buildGraph(t)
+	step := g.Nodes["g.step"]
+	var sawBimodal, sawDecoy bool
+	for _, c := range step.Callees {
+		switch c {
+		case "g.(bimodal).take":
+			sawBimodal = true
+		case "g.(decoy).take":
+			sawDecoy = true
+		}
+	}
+	if !sawBimodal {
+		t.Errorf("interface call did not fan out to bimodal.take; callees = %v", step.Callees)
+	}
+	if sawDecoy {
+		t.Errorf("interface fan-out matched decoy.take despite wrong arity")
+	}
+}
+
+func TestCallGraphHotSetReachability(t *testing.T) {
+	g := buildGraph(t)
+	hot := g.HotSet()
+	for _, want := range []string{"g.step", "g.advance", "g.(*ring).wrap", "g.cleanup", "g.variadic", "g.(bimodal).take"} {
+		if _, ok := hot[want]; !ok {
+			t.Errorf("%s not in hot set", want)
+		}
+	}
+	// Cold cuts: die is reachable from wrap but annotated cold, and the
+	// walk must not continue through it.
+	if _, ok := hot["g.die"]; ok {
+		t.Error("//memwall:cold function in hot set")
+	}
+	if _, ok := hot["g.helperOfDie"]; ok {
+		t.Error("function behind a cold cut in hot set")
+	}
+	if _, ok := hot["g.unreached"]; ok {
+		t.Error("unreachable function in hot set")
+	}
+	if got := hot["g.variadic"].Root; got != "g.step" {
+		t.Errorf("variadic witness root = %q, want g.step", got)
+	}
+}
+
+func TestCallGraphMethodValueEdge(t *testing.T) {
+	g := buildGraph(t)
+	// `cb := r.wrap` alone must produce the edge; remove the direct call
+	// by checking a dedicated source.
+	src := `package mv
+type T struct{}
+func (T) m() {}
+func f() { var t T; cb := t.m; _ = cb }
+`
+	g2 := BuildCallGraph([]*Package{typecheck(t, "mv", src)})
+	f := g2.Nodes["mv.f"]
+	if f == nil {
+		t.Fatal("mv.f not in graph")
+	}
+	found := false
+	for _, c := range f.Callees {
+		if c == "mv.(T).m" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("method value reference produced no edge; callees = %v", f.Callees)
+	}
+	_ = g
+}
+
+func TestFuncSymbolShapes(t *testing.T) {
+	pkg := typecheck(t, "s", `package s
+type T struct{}
+func (t *T) Ptr() {}
+func (t T) Val() {}
+func Top() {}
+`)
+	want := map[string]bool{"s.(*T).Ptr": true, "s.(T).Val": true, "s.Top": true}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn := pkg.TypesInfo.Defs[fd.Name].(*types.Func)
+			sym := FuncSymbol(fn)
+			if !want[sym] {
+				t.Errorf("unexpected symbol %q", sym)
+			}
+			delete(want, sym)
+		}
+	}
+	for sym := range want {
+		t.Errorf("symbol %q never produced", sym)
+	}
+}

@@ -1,0 +1,447 @@
+// Control-flow graphs for memlint's dataflow analyzers. NewCFG lowers one
+// function body into basic blocks of AST nodes connected by edges that
+// remember the controlling condition, mirroring the shape (though not the
+// API) of golang.org/x/tools/go/cfg. Statements are kept as raw AST nodes
+// so analyzers interpret exactly the constructs they care about; condition
+// expressions appear both as a node in the block that evaluates them (so
+// reads are visible to transfer functions) and as Edge.Cond on the
+// outgoing edges (so branch-sensitive facts can be derived).
+//
+// The lowering is intentionally syntactic: panic(...), os.Exit(...),
+// log.Fatal*(...), and runtime.Goexit() end their block with no
+// successors, which is recognised by name rather than by types — good
+// enough for an invariant linter, and it keeps the builder usable on
+// not-yet-type-checked fixtures.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// CFG is the control-flow graph of one function body. Blocks[0] is the
+// entry block.
+type CFG struct {
+	Blocks []*Block
+}
+
+// Entry returns the entry block (nil for an empty CFG).
+func (c *CFG) Entry() *Block {
+	if len(c.Blocks) == 0 {
+		return nil
+	}
+	return c.Blocks[0]
+}
+
+// Block is a straight-line sequence of AST nodes executed in order.
+// Nodes holds statements plus the condition expressions evaluated at the
+// end of the block; a block with no Succs either returns, panics, or
+// falls off the end of the function.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Edge
+	// In lists incoming edges (populated by NewCFG's final pass).
+	In []*Edge
+}
+
+// Edge is one control transfer. Cond, when non-nil, is the expression
+// controlling the transfer: the edge is taken when Cond evaluates to
+// !Negate. Unconditional (or unmodelled, e.g. range/select) transfers
+// have a nil Cond.
+type Edge struct {
+	From, To *Block
+	Cond     ast.Expr
+	Negate   bool
+}
+
+// cfgBuilder carries the construction state.
+type cfgBuilder struct {
+	cfg *CFG
+	cur *Block
+	// breaks/conts are stacks of enclosing break/continue targets; the
+	// label is empty for unlabeled constructs.
+	breaks []branchTarget
+	conts  []branchTarget
+	// labels maps label names to their entry blocks (created lazily so
+	// forward gotos resolve).
+	labels map[string]*Block
+	// pendingLabel is set while lowering the statement of a LabeledStmt
+	// so the loop/switch below it registers labeled break/continue
+	// targets.
+	pendingLabel string
+}
+
+type branchTarget struct {
+	label string
+	block *Block
+}
+
+// NewCFG builds the control-flow graph of a function body (nil yields an
+// empty graph).
+func NewCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}, labels: map[string]*Block{}}
+	b.cur = b.newBlock()
+	if body != nil {
+		b.stmt(body)
+	}
+	for _, blk := range b.cfg.Blocks {
+		for _, e := range blk.Succs {
+			e.To.In = append(e.To.In, e)
+		}
+	}
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block, cond ast.Expr, negate bool) {
+	from.Succs = append(from.Succs, &Edge{From: from, To: to, Cond: cond, Negate: negate})
+}
+
+// jump adds an unconditional edge from the current block and makes to
+// current.
+func (b *cfgBuilder) jump(to *Block) {
+	b.edge(b.cur, to, nil, false)
+	b.cur = to
+}
+
+// terminate ends the current block with no successor; subsequent
+// statements land in a fresh unreachable block.
+func (b *cfgBuilder) terminate() {
+	b.cur = b.newBlock()
+}
+
+// labelBlock returns (creating if needed) the entry block for a label.
+func (b *cfgBuilder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.labels[name] = blk
+	return blk
+}
+
+// takeLabel consumes the pending label for the construct being lowered.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) findTarget(stack []branchTarget, label string) *Block {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if label == "" || stack[i].label == label {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s.Cond)
+		cond := b.cur
+		then := b.newBlock()
+		after := b.newBlock()
+		b.edge(cond, then, s.Cond, false)
+		b.cur = then
+		b.stmt(s.Body)
+		b.edge(b.cur, after, nil, false)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els, s.Cond, true)
+			b.cur = els
+			b.stmt(s.Else)
+			b.edge(b.cur, after, nil, false)
+		} else {
+			b.edge(cond, after, s.Cond, true)
+		}
+		b.cur = after
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		contTarget := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+			contTarget = post
+		}
+		b.edge(b.cur, head, nil, false)
+		b.cur = head
+		if s.Cond != nil {
+			b.cur.Nodes = append(b.cur.Nodes, s.Cond)
+			b.edge(b.cur, body, s.Cond, false)
+			b.edge(b.cur, after, s.Cond, true)
+		} else {
+			b.edge(b.cur, body, nil, false)
+		}
+		b.breaks = append(b.breaks, branchTarget{label, after})
+		b.conts = append(b.conts, branchTarget{label, contTarget})
+		b.cur = body
+		b.stmt(s.Body)
+		if post != nil {
+			b.edge(b.cur, post, nil, false)
+			b.cur = post
+			b.stmt(s.Post)
+		}
+		b.edge(b.cur, head, nil, false)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.conts = b.conts[:len(b.conts)-1]
+		b.cur = after
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(b.cur, head, nil, false)
+		// The RangeStmt node itself carries the X read and the per-
+		// iteration Key/Value definitions for transfer functions.
+		head.Nodes = append(head.Nodes, s)
+		b.edge(head, body, nil, false)
+		b.edge(head, after, nil, false)
+		b.breaks = append(b.breaks, branchTarget{label, after})
+		b.conts = append(b.conts, branchTarget{label, head})
+		b.cur = body
+		b.stmt(s.Body)
+		b.edge(b.cur, head, nil, false)
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.conts = b.conts[:len(b.conts)-1]
+		b.cur = after
+	case *ast.SwitchStmt:
+		b.switchStmt(s)
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.cur.Nodes = append(b.cur.Nodes, s.Assign)
+		head := b.cur
+		after := b.newBlock()
+		b.breaks = append(b.breaks, branchTarget{label, after})
+		hasDefault := false
+		if s.Body != nil {
+			for _, cc := range s.Body.List {
+				clause := cc.(*ast.CaseClause)
+				if clause.List == nil {
+					hasDefault = true
+				}
+				body := b.newBlock()
+				b.edge(head, body, nil, false)
+				b.cur = body
+				for _, st := range clause.Body {
+					b.stmt(st)
+				}
+				b.edge(b.cur, after, nil, false)
+			}
+		}
+		if !hasDefault {
+			b.edge(head, after, nil, false)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.cur = after
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		after := b.newBlock()
+		head := b.cur
+		b.breaks = append(b.breaks, branchTarget{label, after})
+		n := 0
+		if s.Body != nil {
+			for _, cc := range s.Body.List {
+				clause := cc.(*ast.CommClause)
+				n++
+				body := b.newBlock()
+				b.edge(head, body, nil, false)
+				b.cur = body
+				if clause.Comm != nil {
+					b.stmt(clause.Comm)
+				}
+				for _, st := range clause.Body {
+					b.stmt(st)
+				}
+				b.edge(b.cur, after, nil, false)
+			}
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		if n == 0 {
+			// select{} blocks forever.
+			b.terminate()
+			return
+		}
+		b.cur = after
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		b.edge(b.cur, lb, nil, false)
+		b.cur = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			label := ""
+			if s.Label != nil {
+				label = s.Label.Name
+			}
+			if t := b.findTarget(b.breaks, label); t != nil {
+				b.edge(b.cur, t, nil, false)
+			}
+			b.terminate()
+		case token.CONTINUE:
+			label := ""
+			if s.Label != nil {
+				label = s.Label.Name
+			}
+			if t := b.findTarget(b.conts, label); t != nil {
+				b.edge(b.cur, t, nil, false)
+			}
+			b.terminate()
+		case token.GOTO:
+			if s.Label != nil {
+				b.edge(b.cur, b.labelBlock(s.Label.Name), nil, false)
+			}
+			b.terminate()
+		case token.FALLTHROUGH:
+			// Handled by switchStmt; ignore here.
+		}
+	case *ast.ReturnStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		b.terminate()
+	case *ast.ExprStmt:
+		b.cur.Nodes = append(b.cur.Nodes, s)
+		if isTerminatingCall(s.X) {
+			b.terminate()
+		}
+	case *ast.EmptyStmt:
+		// nothing
+	case nil:
+		// nothing
+	default:
+		// Assign, Decl, IncDec, Send, Defer, Go, ...: straight-line.
+		b.cur.Nodes = append(b.cur.Nodes, s)
+	}
+}
+
+// switchStmt lowers an expression switch. An expressionless switch is a
+// chained if/else-if whose case conditions become Edge.Cond (single-
+// expression cases only — multi-expression cases get unmodelled edges);
+// a tagged switch gets unmodelled edges to every case.
+func (b *cfgBuilder) switchStmt(s *ast.SwitchStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	if s.Tag != nil {
+		b.cur.Nodes = append(b.cur.Nodes, s.Tag)
+	}
+	after := b.newBlock()
+	b.breaks = append(b.breaks, branchTarget{label, after})
+
+	var clauses []*ast.CaseClause
+	if s.Body != nil {
+		for _, cc := range s.Body.List {
+			clauses = append(clauses, cc.(*ast.CaseClause))
+		}
+	}
+	// Pre-create body blocks so fallthrough can target the next clause.
+	bodies := make([]*Block, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+	}
+
+	chain := b.cur
+	var defaultIdx = -1
+	for i, clause := range clauses {
+		if clause.List == nil {
+			defaultIdx = i
+			continue
+		}
+		if s.Tag == nil && len(clause.List) == 1 {
+			// if/else-if chain with real conditions.
+			cond := clause.List[0]
+			chain.Nodes = append(chain.Nodes, cond)
+			b.edge(chain, bodies[i], cond, false)
+			next := b.newBlock()
+			b.edge(chain, next, cond, true)
+			chain = next
+		} else {
+			// Unmodelled match: both taken and not-taken are possible.
+			for _, e := range clause.List {
+				chain.Nodes = append(chain.Nodes, e)
+			}
+			b.edge(chain, bodies[i], nil, false)
+			next := b.newBlock()
+			b.edge(chain, next, nil, false)
+			chain = next
+		}
+	}
+	if defaultIdx >= 0 {
+		b.edge(chain, bodies[defaultIdx], nil, false)
+	} else {
+		b.edge(chain, after, nil, false)
+	}
+
+	for i, clause := range clauses {
+		b.cur = bodies[i]
+		falls := false
+		for _, st := range clause.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				falls = true
+				continue
+			}
+			b.stmt(st)
+		}
+		if falls && i+1 < len(bodies) {
+			b.edge(b.cur, bodies[i+1], nil, false)
+		} else {
+			b.edge(b.cur, after, nil, false)
+		}
+	}
+	b.breaks = b.breaks[:len(b.breaks)-1]
+	b.cur = after
+}
+
+// isTerminatingCall recognises, syntactically, calls that never return.
+func isTerminatingCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		name := fun.Sel.Name
+		switch pkg.Name {
+		case "os":
+			return name == "Exit"
+		case "log":
+			return strings.HasPrefix(name, "Fatal") || strings.HasPrefix(name, "Panic")
+		case "runtime":
+			return name == "Goexit"
+		}
+	}
+	return false
+}

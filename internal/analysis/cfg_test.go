@@ -1,0 +1,361 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildCFG parses a function body and returns its CFG.
+func buildCFG(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := file.Decls[0].(*ast.FuncDecl)
+	return NewCFG(fd.Body)
+}
+
+// reachable returns the set of block indices reachable from the entry.
+func reachable(c *CFG) map[int]bool {
+	seen := map[int]bool{}
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if seen[b.Index] {
+			return
+		}
+		seen[b.Index] = true
+		for _, e := range b.Succs {
+			walk(e.To)
+		}
+	}
+	if c.Entry() != nil {
+		walk(c.Entry())
+	}
+	return seen
+}
+
+// hasNode reports whether any block node satisfies pred.
+func hasNode(c *CFG, pred func(ast.Node) bool) bool {
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			if pred(n) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestCFGIfShape(t *testing.T) {
+	c := buildCFG(t, `
+	x := 1
+	if x > 0 {
+		x = 2
+	} else {
+		x = 3
+	}
+	_ = x`)
+	entry := c.Entry()
+	if len(entry.Succs) != 2 {
+		t.Fatalf("entry successors = %d, want 2 (then/else)", len(entry.Succs))
+	}
+	var sawPos, sawNeg bool
+	for _, e := range entry.Succs {
+		if e.Cond == nil {
+			t.Fatalf("if edge without condition")
+		}
+		if e.Negate {
+			sawNeg = true
+		} else {
+			sawPos = true
+		}
+	}
+	if !sawPos || !sawNeg {
+		t.Fatalf("want one positive and one negated condition edge, got pos=%v neg=%v", sawPos, sawNeg)
+	}
+}
+
+func TestCFGIfWithoutElseJoins(t *testing.T) {
+	c := buildCFG(t, `
+	x := 1
+	if x > 0 {
+		x = 2
+	}
+	_ = x`)
+	// The join block (containing `_ = x`) must have two in-edges: the
+	// then-branch and the negated skip edge.
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name == "_" {
+					if len(b.In) != 2 {
+						t.Fatalf("join block in-edges = %d, want 2", len(b.In))
+					}
+					return
+				}
+			}
+		}
+	}
+	t.Fatal("join block not found")
+}
+
+func TestCFGForLoopBackEdge(t *testing.T) {
+	c := buildCFG(t, `
+	for i := 0; i < 10; i++ {
+		_ = i
+	}`)
+	// The loop head must be its own ancestor: find a block whose
+	// successors eventually lead back to it.
+	var head *Block
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			if be, ok := n.(ast.Expr); ok {
+				if bin, ok := be.(*ast.BinaryExpr); ok && bin.Op == token.LSS {
+					head = b
+				}
+			}
+		}
+	}
+	if head == nil {
+		t.Fatal("loop head with condition not found")
+	}
+	if len(head.Succs) != 2 {
+		t.Fatalf("loop head successors = %d, want 2 (body/after)", len(head.Succs))
+	}
+	if len(head.In) < 2 {
+		t.Fatalf("loop head in-edges = %d, want >= 2 (entry + back edge)", len(head.In))
+	}
+}
+
+func TestCFGBreakContinue(t *testing.T) {
+	c := buildCFG(t, `
+	for {
+		if true {
+			break
+		}
+		if false {
+			continue
+		}
+		_ = 1
+	}
+	_ = 2`)
+	if len(reachable(c)) == 0 {
+		t.Fatal("empty CFG")
+	}
+	// `_ = 2` must be reachable (via break) even though the loop has no
+	// condition.
+	found := false
+	for idx := range reachable(c) {
+		for _, n := range c.Blocks[idx].Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				if lit, ok := as.Rhs[0].(*ast.BasicLit); ok && lit.Value == "2" {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("statement after break-only exit not reachable")
+	}
+}
+
+func TestCFGReturnTerminates(t *testing.T) {
+	c := buildCFG(t, `
+	return
+	_ = 1`)
+	// `_ = 1` is dead: it must not be reachable from the entry.
+	for idx := range reachable(c) {
+		for _, n := range c.Blocks[idx].Nodes {
+			if _, ok := n.(*ast.AssignStmt); ok {
+				t.Fatal("statement after return is reachable")
+			}
+		}
+	}
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	c := buildCFG(t, `
+	if true {
+		panic("boom")
+	}
+	_ = 1`)
+	// The panic block must have no successors.
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					if len(b.Succs) != 0 {
+						t.Fatalf("panic block has %d successors, want 0", len(b.Succs))
+					}
+					return
+				}
+			}
+		}
+	}
+	t.Fatal("panic block not found")
+}
+
+func TestCFGExpressionlessSwitch(t *testing.T) {
+	c := buildCFG(t, `
+	n := 1
+	switch {
+	case n == 0:
+		_ = 1
+	default:
+		_ = 2
+	}`)
+	// The case condition must appear as an Edge.Cond somewhere, with a
+	// negated counterpart feeding the default.
+	var sawCond, sawNeg bool
+	for _, b := range c.Blocks {
+		for _, e := range b.Succs {
+			if e.Cond != nil {
+				if e.Negate {
+					sawNeg = true
+				} else {
+					sawCond = true
+				}
+			}
+		}
+	}
+	if !sawCond || !sawNeg {
+		t.Fatalf("expressionless switch edges: pos=%v neg=%v, want both", sawCond, sawNeg)
+	}
+}
+
+func TestCFGRangeHasBothEdges(t *testing.T) {
+	c := buildCFG(t, `
+	s := []int{1}
+	for _, v := range s {
+		_ = v
+	}
+	_ = 1`)
+	// The range head carries the RangeStmt node and has edges to both the
+	// body and the after block (zero-iteration case).
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.RangeStmt); ok {
+				if len(b.Succs) != 2 {
+					t.Fatalf("range head successors = %d, want 2", len(b.Succs))
+				}
+				return
+			}
+		}
+	}
+	t.Fatal("range head not found")
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	c := buildCFG(t, `
+outer:
+	for {
+		for {
+			break outer
+		}
+	}
+	_ = 1`)
+	found := false
+	for idx := range reachable(c) {
+		for _, n := range c.Blocks[idx].Nodes {
+			if _, ok := n.(*ast.AssignStmt); ok {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("labeled break target not reachable")
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	c := buildCFG(t, `
+	i := 0
+loop:
+	i++
+	if i < 3 {
+		goto loop
+	}
+	_ = i`)
+	// The labeled block must have at least two in-edges: fall-through and
+	// the goto.
+	var labeled *Block
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			if inc, ok := n.(*ast.IncDecStmt); ok && inc.Tok == token.INC {
+				labeled = b
+			}
+		}
+	}
+	if labeled == nil {
+		t.Fatal("labeled block not found")
+	}
+	if len(labeled.In) < 2 {
+		t.Fatalf("labeled block in-edges = %d, want >= 2", len(labeled.In))
+	}
+}
+
+func TestCFGShortCircuitCondIsBlockNode(t *testing.T) {
+	// Short-circuit conditions stay one expression: guardlint handles the
+	// && threading itself, but the CFG must expose the full condition
+	// both as a node (for reads) and as the edge condition.
+	c := buildCFG(t, `
+	n := 1
+	if n != 0 && 10/n > 1 {
+		_ = n
+	}`)
+	if !hasNode(c, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		return ok && be.Op == token.LAND
+	}) {
+		t.Fatal("short-circuit condition not present as a block node")
+	}
+	found := false
+	for _, b := range c.Blocks {
+		for _, e := range b.Succs {
+			if be, ok := e.Cond.(*ast.BinaryExpr); ok && be.Op == token.LAND {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("short-circuit condition not present as an edge condition")
+	}
+}
+
+func TestCFGDeferIsStraightLine(t *testing.T) {
+	c := buildCFG(t, `
+	defer func() { _ = 1 }()
+	_ = 2`)
+	entry := c.Entry()
+	sawDefer := false
+	for _, n := range entry.Nodes {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			sawDefer = true
+		}
+	}
+	if !sawDefer {
+		t.Fatal("defer not kept in straight-line block")
+	}
+}
+
+func TestCFGSelectEmptyTerminates(t *testing.T) {
+	c := buildCFG(t, `
+	select {}
+	_ = 1`)
+	for idx := range reachable(c) {
+		for _, n := range c.Blocks[idx].Nodes {
+			if _, ok := n.(*ast.AssignStmt); ok {
+				t.Fatal("statement after select{} is reachable")
+			}
+		}
+	}
+}

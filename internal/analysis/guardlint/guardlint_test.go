@@ -1,0 +1,11 @@
+package guardlint
+
+import (
+	"testing"
+
+	"memwall/internal/analysis/analysistest"
+)
+
+func TestGuardlint(t *testing.T) {
+	analysistest.Run(t, Analyzer, "./testdata/src/guard", "./testdata/src/guardclean")
+}

@@ -1,0 +1,109 @@
+// Package guard is the guardlint positive fixture: unguarded divisions
+// (the PR 3 ring-buffer wrap bug class) and comma-ok values used before
+// their ok was checked (the PR 6 telemetry class).
+package guard
+
+// DivParam divides by a parameter no path has checked.
+func DivParam(x, n int) int {
+	return x / n // want "division by n, which is not provably nonzero on this path"
+}
+
+// ModLen reproduces the PR 3 bug shape: a ring-buffer wrap that trusts
+// the slice to be non-empty.
+func ModLen(head int, ring []int) int {
+	return (head + 1) % len(ring) // want "modulo by len\(ring\), which is not provably nonzero on this path"
+}
+
+// GuardWrongPath checks n, but the division also runs on the unchecked
+// path.
+func GuardWrongPath(x, n int) int {
+	if n != 0 {
+		x++
+	}
+	return x / n // want "division by n, which is not provably nonzero on this path"
+}
+
+// GuardThenClobber proves n nonzero, then overwrites it.
+func GuardThenClobber(x, n, m int) int {
+	if n == 0 {
+		return 0
+	}
+	n = m
+	return x / n // want "division by n, which is not provably nonzero on this path"
+}
+
+// CompoundAssign divides in place without a guard.
+func CompoundAssign(x, n int) int {
+	x /= n // want "division by n, which is not provably nonzero on this path"
+	return x
+}
+
+// FieldDivisor: guarding one field does not guard another.
+type cfg struct{ width, burst int }
+
+func FieldDivisor(x int, c cfg) int {
+	if c.width == 0 {
+		return 0
+	}
+	return x / c.burst // want "division by c.burst, which is not provably nonzero on this path"
+}
+
+// OrGuard only holds on one of the two short-circuit arms.
+func OrGuard(x, n int) int {
+	if n > 0 || x > 0 {
+		return x / n // want "division by n, which is not provably nonzero on this path"
+	}
+	return 0
+}
+
+// FloatDiv applies to floats too.
+func FloatDiv(x, n float64) float64 {
+	return x / n // want "division by n, which is not provably nonzero on this path"
+}
+
+// LoopBackEdge: the guard before the loop is killed by the decrement on
+// the back edge.
+func LoopBackEdge(x, n int) int {
+	if n == 0 {
+		return 0
+	}
+	sum := 0
+	for i := 0; i < 4; i++ {
+		sum += x / n // want "division by n, which is not provably nonzero on this path"
+		n--
+	}
+	return sum
+}
+
+// MapUse reads the map value before looking at ok.
+func MapUse(m map[string]int, k string) int {
+	v, ok := m[k]
+	x := v * 2 // want "v is used, but the ok from its comma-ok assignment was never checked on this path"
+	_ = ok
+	return x
+}
+
+// AssertUse uses a type-asserted value before the check.
+func AssertUse(x any) int {
+	v, ok := x.(int)
+	if v > 2 { // want "v is used, but the ok from its comma-ok assignment was never checked on this path"
+		return 3
+	}
+	_ = ok
+	return 0
+}
+
+// CallUse: a (value, ok) call result used on the path where ok was never
+// consulted.
+func lookup(k string) (int, bool) { return 0, k != "" }
+
+func CallUse(k string) int {
+	v, ok := lookup(k)
+	if k == "x" {
+		return v // want "v is used, but the ok from its comma-ok assignment was never checked on this path"
+	}
+	if !ok {
+		return -1
+	}
+	return v
+}

@@ -1,0 +1,188 @@
+// Package guardclean is the guardlint negative fixture: every division
+// is dominated by a nonzero proof and every comma-ok value waits for its
+// check. guardlint must stay silent on this entire file.
+package guardclean
+
+// ConstDivisor: constant divisors compile only when nonzero.
+func ConstDivisor(x int) int {
+	const step = 8
+	return x/4 + x%step
+}
+
+// EarlyReturn guards with the PR 3 fix shape.
+func EarlyReturn(x, n int) int {
+	if n == 0 {
+		return 0
+	}
+	return x / n
+}
+
+// ThenBranch divides only where the guard held.
+func ThenBranch(x, n int) int {
+	if n != 0 {
+		return x / n
+	}
+	return 0
+}
+
+// ShortCircuit proves the divisor inside one condition.
+func ShortCircuit(x, n int) bool {
+	return n != 0 && x/n > 1
+}
+
+// OrEscape: on the right of ||, the left comparison failed, so n != 0.
+func OrEscape(x, n int) bool {
+	return n == 0 || x/n > 1
+}
+
+// LenGuard covers the ring-buffer wrap after a length check.
+func LenGuard(head int, ring []int) int {
+	if len(ring) == 0 {
+		return 0
+	}
+	return (head + 1) % len(ring)
+}
+
+// PositiveGuard: n > 0 implies n != 0.
+func PositiveGuard(x, n int) int {
+	if n > 0 {
+		return x / n
+	}
+	return 0
+}
+
+// AssignNonzero: assignment from a nonzero constant is a proof.
+func AssignNonzero(x int) int {
+	n := 16
+	return x / n
+}
+
+// GuardedPanic: the zero path panics, so the fall-through is safe.
+func GuardedPanic(x, n int) int {
+	if n == 0 {
+		panic("zero divisor")
+	}
+	return x / n
+}
+
+// SwitchGuard uses an expressionless switch as the guard.
+func SwitchGuard(x, n int) int {
+	switch {
+	case n == 0:
+		return 0
+	default:
+		return x / n
+	}
+}
+
+// MapChecked is the blessed comma-ok shape.
+func MapChecked(m map[string]int, k string) int {
+	v, ok := m[k]
+	if !ok {
+		return -1
+	}
+	return v
+}
+
+// MapBranch checks on the positive side.
+func MapBranch(m map[string]int, k string) int {
+	if v, ok := m[k]; ok {
+		return v
+	}
+	return 0
+}
+
+// ReturnBoth forwards the pair to the caller; returning ok alongside v
+// counts as consulting it.
+func ReturnBoth(m map[string]int, k string) (int, bool) {
+	v, ok := m[k]
+	return v, ok
+}
+
+// Reassigned: overwriting v before use clears the obligation.
+func Reassigned(m map[string]int, k string) int {
+	v, ok := m[k]
+	_ = ok
+	v = 7
+	return v
+}
+
+// ChanChecked receives with a checked ok.
+func ChanChecked(ch chan int) int {
+	v, ok := <-ch
+	if !ok {
+		return -1
+	}
+	return v
+}
+
+// ConvGuard: a nonzero-preserving conversion of a guarded value stays
+// guarded — int→float64 cannot produce zero from a nonzero int.
+func ConvGuard(sum float64, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// ConvWiden: widening int conversions preserve nonzero too.
+func ConvWiden(x uint64, n int32) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	return x / uint64(n)
+}
+
+// ConvBeforeGuard: the guard itself tests the converted expression while
+// the division uses the raw one.
+func ConvBeforeGuard(x, n int) float64 {
+	if float64(n) == 0 {
+		return 0
+	}
+	return float64(x) / float64(n)
+}
+
+// MaxClamp: the max builtin with a positive constant argument is a
+// provably nonzero divisor.
+func MaxClamp(x, n int) int {
+	return x / max(1, n)
+}
+
+// MaxClampAssigned: the clamp survives through an assignment.
+func MaxClampAssigned(x, n int) int {
+	d := max(1, n)
+	return x / d
+}
+
+// ProductGuard: a product of provably nonzero factors is nonzero
+// (modular wrap-around is deliberately out of scope).
+func ProductGuard(x, a, b int) int {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return x / (a * b)
+}
+
+// RangeBodyGuard: a guard inside a range body protects the rest of that
+// iteration (regression: the range head once re-scanned its whole body).
+func RangeBodyGuard(xs []int) int {
+	total := 0
+	for _, n := range xs {
+		if n == 0 {
+			continue
+		}
+		total += 100 / n
+	}
+	return total
+}
+
+// FactPropagation: a copy of a guarded value inherits its fact, and
+// doubling a nonzero value keeps it provable.
+func FactPropagation(x, n int) int {
+	if n == 0 {
+		return 0
+	}
+	m := n
+	m = m * 2
+	return x / m
+}

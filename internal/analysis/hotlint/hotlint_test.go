@@ -1,0 +1,11 @@
+package hotlint
+
+import (
+	"testing"
+
+	"memwall/internal/analysis/analysistest"
+)
+
+func TestHotlint(t *testing.T) {
+	analysistest.Run(t, Analyzer, "./testdata/src/hot", "./testdata/src/hotclean")
+}

@@ -1,0 +1,70 @@
+// Package hot is the hotlint positive fixture: a //memwall:hot root, a
+// helper it reaches transitively, an interface fan-out target, and a
+// //memwall:cold cut that keeps the panic helper out of the hot set.
+package hot
+
+import "fmt"
+
+type event struct{ addr, cycle uint64 }
+
+type policy interface {
+	Pick(n int) int
+}
+
+type lru struct{ last int }
+
+// Pick is hot only because step calls policy.Pick through the interface.
+func (l *lru) Pick(n int) int {
+	l.last = n
+	s := make([]int, n) // want "make allocates on a hot path \(via hot.step\)"
+	return len(s)
+}
+
+// step is the per-cycle issue loop stand-in.
+//
+//memwall:hot
+func step(evs []event, p policy, m map[uint64]event) int {
+	defer release() // want "defer on a hot path \(via hot.step\); it pushes a frame every call"
+	total := 0
+	for range m { // want "map iteration on a hot path \(via hot.step\); order-randomized and cache-hostile"
+		total++
+	}
+	total += advance(evs)
+	total += p.Pick(total) // want "dynamic call hot.policy.Pick through an interface on a hot path \(via hot.step\)"
+	if total < 0 {
+		fail(total)
+	}
+	return total
+}
+
+// advance is hot by reachability from step, not by annotation.
+func advance(evs []event) int {
+	evs = append(evs, event{}) // want "append may grow its backing array on a hot path \(via hot.step\)"
+	e := new(event)            // want "new heap-allocates on a hot path \(via hot.step\)"
+	box := any(*e)             // want "conversion boxes hot.event into interface any on a hot path \(via hot.step\)"
+	_ = box
+	n := len(evs)
+	f := func() int { return n } // want "closure captures \[n\] on a hot path \(via hot.step\); captures heap-allocate their slots"
+	ptr := &event{cycle: 1}      // want "&composite literal heap-allocates on a hot path \(via hot.step\)"
+	fmt.Println(ptr.cycle)       // want "fmt.Println call on a hot path \(via hot.step\); fmt reflects and boxes every operand"
+	return f()
+}
+
+// release is reached from step via the defer; still hot.
+func release() {
+	_ = make([]byte, 8) // want "make allocates on a hot path \(via hot.step\)"
+}
+
+// fail is the blessed escape hatch: reachable from step, but cold cuts
+// the walk, so its allocations are not reported.
+//
+//memwall:cold
+func fail(n int) {
+	panic(fmt.Sprintf("negative total %d", n))
+}
+
+// conflicted carries both annotations at once.
+//
+//memwall:hot
+//memwall:cold
+func conflicted() {} // want "hot.conflicted is annotated both //memwall:hot and //memwall:cold; pick one"

@@ -1,0 +1,44 @@
+// Package hotclean is the hotlint negative fixture: a hot root written
+// in the approved style (index loops, preallocated slices, no dynamic
+// dispatch), plus a non-hot function that may allocate freely because
+// nothing hot reaches it.
+package hotclean
+
+import "fmt"
+
+type event struct{ addr, cycle uint64 }
+
+type ring struct {
+	buf  []event
+	head int
+}
+
+// step is allocation-free: index loops, in-place writes, branchless
+// arithmetic.
+//
+//memwall:hot
+func step(r *ring, evs []event) int {
+	total := 0
+	for i := 0; i < len(evs); i++ {
+		total += int(evs[i].cycle)
+	}
+	if len(r.buf) > 0 {
+		r.buf[r.head] = evs[0]
+		r.head++
+		if r.head == len(r.buf) {
+			r.head = 0
+		}
+	}
+	return total
+}
+
+// report is NOT hot: nothing reachable from step calls it, so its
+// defers, allocations, and fmt use are fine.
+func report(r *ring) string {
+	defer func() { r.head = 0 }()
+	lines := make([]string, 0, len(r.buf))
+	for _, e := range r.buf {
+		lines = append(lines, fmt.Sprintf("%d@%d", e.addr, e.cycle))
+	}
+	return fmt.Sprint(lines)
+}

@@ -79,6 +79,11 @@ func (l *Ledger) Close(cycles, insts int64) {
 		// overflow int64 on long runs), then hand out the rounding
 		// shortfall one slot at a time by descending raw charge, cause
 		// index breaking ties — fully deterministic.
+		if sum < 1 {
+			// Unreachable (sum > budget >= 0 here); restates the
+			// invariant locally for the divisions below.
+			sum = 1
+		}
 		var scaledSum int64
 		for c, v := range l.raw {
 			s := int64(float64(v) / float64(sum) * float64(budget))

@@ -145,7 +145,11 @@ func (s *Sampler) Record(sm Sample) {
 		s.interval = s.series.Interval
 	}
 	if sm.Cycle >= s.next {
-		s.next = (sm.Cycle/s.interval + 1) * s.interval
+		iv := s.interval
+		if iv < 1 { // constructors reject nonpositive intervals; self-heal anyway
+			iv = 1
+		}
+		s.next = (sm.Cycle/iv + 1) * iv
 	}
 }
 
@@ -226,7 +230,11 @@ func (s *RefSampler) Record(refs, misses, trafficBytes int64) {
 		s.every = s.series.Every
 	}
 	if refs >= s.next {
-		s.next = (refs/s.every + 1) * s.every
+		ev := s.every
+		if ev < 1 { // constructors reject nonpositive strides; self-heal anyway
+			ev = 1
+		}
+		s.next = (refs/ev + 1) * ev
 	}
 }
 

@@ -169,7 +169,7 @@ func (c Config) Validate() error {
 	blocks := c.Size / c.BlockSize
 	assoc := c.Assoc
 	if assoc <= 0 || assoc > blocks {
-		assoc = blocks
+		assoc = max(1, blocks) // blocks >= 1: size is a positive multiple of block size
 	}
 	if blocks%assoc != 0 {
 		return fmt.Errorf("cache: %d blocks not divisible by associativity %d", blocks, assoc)
@@ -294,10 +294,12 @@ func New(cfg Config) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	blocks := cfg.Size / cfg.BlockSize
+	// Validate accepted cfg just above; the clamps restate its guarantees
+	// (positive block size, at least one block per set) locally.
+	blocks := cfg.Size / max(1, cfg.BlockSize)
 	assoc := cfg.Assoc
 	if assoc <= 0 || assoc > blocks {
-		assoc = blocks
+		assoc = max(1, blocks)
 	}
 	nsets := blocks / assoc
 	c := &Cache{
@@ -313,11 +315,12 @@ func New(cfg Config) (*Cache, error) {
 	for shift := cfg.BlockSize; shift > 1; shift >>= 1 {
 		c.setShift++
 	}
-	c.subSize = cfg.subBlock()
-	for sb := c.subSize; sb > 1; sb >>= 1 {
+	sub := max(1, cfg.subBlock()) // subBlock returns a positive divisor of BlockSize
+	c.subSize = sub
+	for sb := sub; sb > 1; sb >>= 1 {
 		c.subShift++
 	}
-	nsub := cfg.BlockSize / c.subSize
+	nsub := cfg.BlockSize / sub
 	c.subMask = (uint64(1) << nsub) - 1
 	if cfg.Attr != nil {
 		c.refSampler = cfg.Attr.RefSampler("attr.cache.samples", cfg.AttrEvery)
@@ -410,6 +413,8 @@ func (c *Cache) fill(set []line, w int, tag uint64, fetchMask, validMask, dirtyM
 // sub-blocks enabled, a reference hits only when the line is present AND
 // the addressed sub-block is valid; a present line with an invalid
 // sub-block takes a sub-block miss that fetches just that sub-block.
+//
+//memwall:hot
 func (c *Cache) Access(r trace.Ref) bool {
 	c.now++
 	c.stats.Accesses++

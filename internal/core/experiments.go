@@ -260,6 +260,9 @@ func normalizeFigure3(progs []*workload.Program, machines []Machine, results []D
 		}
 		for mi, m := range machines {
 			res := results[bi*nm+mi]
+			if m.ClockMHz <= 0 {
+				return nil, fmt.Errorf("core: machine %s has nonpositive clock %d MHz", m.Name, m.ClockMHz)
+			}
 			// Clock changes (experiment F) rescale cycle counts;
 			// normalise in wall-clock terms.
 			scale := float64(machines[0].ClockMHz) / float64(m.ClockMHz)

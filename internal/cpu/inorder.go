@@ -13,9 +13,11 @@ import (
 
 // inOrder tracks per-cycle issue bookkeeping.
 type inOrder struct {
-	cfg   Config
-	h     *mem.Hierarchy
-	pred  Predictor
+	cfg Config
+	h   *mem.Hierarchy
+	// pred is the concrete predictor type so the per-branch
+	// Predict/Update calls devirtualize and inline (see ooo.go).
+	pred  *TwoLevel
 	probe *attrProbe // nil unless Config.Attr is set
 
 	regReady [isa.NumRegs]int64
@@ -54,6 +56,8 @@ func (p *inOrder) finish() int64 { return maxI64(p.cycle+1, p.lastComplete) }
 
 // step issues one instruction, respecting in-order issue, operand
 // readiness, and structural limits.
+//
+//memwall:hot
 func (p *inOrder) step(in isa.Inst, res *Result) {
 	if p.issued >= p.cfg.IssueWidth {
 		p.advanceTo(p.cycle + 1)

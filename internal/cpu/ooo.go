@@ -24,9 +24,12 @@ import (
 var debugHook func(in isa.Inst, disp, exec, complete int64)
 
 type outOfOrder struct {
-	cfg   Config
-	h     *mem.Hierarchy
-	pred  Predictor
+	cfg Config
+	h   *mem.Hierarchy
+	// pred is the concrete two-level predictor, not the Predictor
+	// interface: Predict/Update run once per branch in the issue loop,
+	// and the devirtualized call lets them inline.
+	pred  *TwoLevel
 	probe *attrProbe // nil unless Config.Attr is set
 
 	regReady [isa.NumRegs]int64
@@ -177,6 +180,11 @@ func (p *outOfOrder) retireAt(complete int64) int64 {
 	return t
 }
 
+// step issues one instruction through the RUU/LSQ model. This is the
+// per-instruction inner loop of every out-of-order run — hotlint holds
+// it and everything it reaches to hot-path hygiene.
+//
+//memwall:hot
 func (p *outOfOrder) step(in isa.Inst, res *Result) {
 	// Structural: RUU slot (and LSQ slot for memory ops) must be free.
 	bound := maxI64(p.fetchReady, p.ruuRetire[p.ruuHead])
@@ -271,10 +279,19 @@ func (p *outOfOrder) step(in isa.Inst, res *Result) {
 		debugHook(in, disp, exec, complete)
 	}
 	retire := p.retireAt(complete)
+	// Branchless-wrap ring advance: Config.Validate guarantees both rings
+	// are non-empty, and increment-then-wrap avoids an integer division
+	// per issued instruction (and the PR 3 zero-modulo bug class).
 	p.ruuRetire[p.ruuHead] = retire
-	p.ruuHead = (p.ruuHead + 1) % len(p.ruuRetire)
+	p.ruuHead++
+	if p.ruuHead == len(p.ruuRetire) {
+		p.ruuHead = 0
+	}
 	if isMem {
 		p.lsqRetire[p.lsqHead] = retire
-		p.lsqHead = (p.lsqHead + 1) % len(p.lsqRetire)
+		p.lsqHead++
+		if p.lsqHead == len(p.lsqRetire) {
+			p.lsqHead = 0
+		}
 	}
 }

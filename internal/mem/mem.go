@@ -214,7 +214,13 @@ func (b *bus) transfer(at int64, n int) (critical, done int64) {
 	if b.infinite {
 		return at, at
 	}
-	beats := (n + b.cfg.WidthBytes - 1) / b.cfg.WidthBytes
+	// New rejects finite buses with WidthBytes < 1; the local clamp keeps
+	// the division provably safe for any bus constructed by hand.
+	width := b.cfg.WidthBytes
+	if width < 1 {
+		width = 1
+	}
+	beats := (n + width - 1) / width
 	if beats < 1 {
 		beats = 1
 	}
@@ -258,10 +264,12 @@ type level struct {
 }
 
 func newLevel(cfg LevelConfig) *level {
-	blocks := cfg.Size / cfg.BlockSize
+	// New validates every level before building it; the clamps restate
+	// the positive-geometry guarantees locally.
+	blocks := cfg.Size / max(1, cfg.BlockSize)
 	assoc := cfg.Assoc
 	if assoc <= 0 || assoc > blocks {
-		assoc = blocks
+		assoc = max(1, blocks)
 	}
 	nsets := blocks / assoc
 	l := &level{
@@ -362,11 +370,15 @@ func (l *level) acquireMSHR(t int64) (start int64, slot int) {
 	return start, best
 }
 
-// pruneOutstanding drops fills long finished to bound map growth.
+// pruneOutstanding drops fills long finished to bound map growth. The
+// map iteration is amortized: it only runs once the map holds 1024
+// entries, and each pass deletes everything already drained, so its cost
+// per access is O(1).
 func (l *level) pruneOutstanding(now int64) {
 	if len(l.outstanding) < 1024 {
 		return
 	}
+	//memlint:allow hotlint amortized sweep, gated on >=1024 entries
 	for b, f := range l.outstanding {
 		if f.done < now {
 			delete(l.outstanding, b)
@@ -417,6 +429,12 @@ func New(cfg Config) (*Hierarchy, error) {
 		}
 	}
 	inf := cfg.Mode == InfiniteBW
+	if !inf && !cfg.InfiniteL1L2Bus && cfg.L1L2Bus.WidthBytes < 1 {
+		return nil, fmt.Errorf("mem: L1-L2 bus width %d must be at least 1 byte", cfg.L1L2Bus.WidthBytes)
+	}
+	if !inf && !cfg.InfiniteMemBus && cfg.MemBus.WidthBytes < 1 {
+		return nil, fmt.Errorf("mem: memory bus width %d must be at least 1 byte", cfg.MemBus.WidthBytes)
+	}
 	h := &Hierarchy{
 		cfg:  cfg,
 		l1:   newLevel(cfg.L1),
@@ -679,6 +697,8 @@ func (h *Hierarchy) prefetch(addr uint64, t int64) {
 
 // Load issues a data load at cycle now and returns the cycle at which the
 // loaded value is available.
+//
+//memwall:hot
 func (h *Hierarchy) Load(addr uint64, now int64) int64 {
 	h.stats.Loads++
 	if h.cfg.Attr {
@@ -749,6 +769,8 @@ func (h *Hierarchy) Load(addr uint64, now int64) int64 {
 // cycle is when the store is accepted, always now+1. Store misses still
 // allocate (write-allocate, write-back), consuming MSHRs and bus
 // bandwidth in the background.
+//
+//memwall:hot
 func (h *Hierarchy) Store(addr uint64, now int64) int64 {
 	h.stats.Stores++
 	if h.cfg.Mode == Perfect {

@@ -588,3 +588,25 @@ func TestNoMetricsMeansNoOccupancyScan(t *testing.T) {
 		t.Error("occupancy sampled without a metrics registry")
 	}
 }
+
+func TestNewRejectsZeroWidthBus(t *testing.T) {
+	// Finite buses must be at least one byte wide; a zero width would
+	// make every transfer divide by zero (guardlint regression).
+	cfg := testConfig(Full, 1)
+	cfg.L1L2Bus.WidthBytes = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("New accepted zero-width L1-L2 bus")
+	}
+	cfg = testConfig(Full, 1)
+	cfg.MemBus.WidthBytes = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("New accepted zero-width memory bus")
+	}
+	// Infinite buses ignore width entirely and must stay accepted.
+	cfg = testConfig(InfiniteBW, 1)
+	cfg.L1L2Bus.WidthBytes = 0
+	cfg.MemBus.WidthBytes = 0
+	if _, err := New(cfg); err != nil {
+		t.Errorf("New rejected infinite-bandwidth config: %v", err)
+	}
+}

@@ -47,6 +47,14 @@ func newSBState(cfg StreamBufferConfig) *sbState {
 		cfg.Depth = 4
 	}
 	s := &sbState{cfg: cfg, bufs: make([]streamBuffer, cfg.Buffers)}
+	// Preallocate every buffer's FIFO storage. A stream never holds more
+	// than Depth entries (allocation fills Depth, a hit consumes one and
+	// prefetches one), so with the head consumed by copy-down rather than
+	// re-slicing, the appends in sbPrefetch stay within this capacity and
+	// the per-miss path is allocation-free.
+	for i := range s.bufs {
+		s.bufs[i].entries = make([]sbEntry, 0, cfg.Depth)
+	}
 	return s
 }
 
@@ -88,7 +96,12 @@ func (h *Hierarchy) streamLookup(addr uint64, t int64) (ready int64, ok bool) {
 		buf := &sb.bufs[i]
 		buf.lastUse = t
 		head := buf.entries[0]
-		buf.entries = buf.entries[1:]
+		// Consume by copying down, not re-slicing: entries stays anchored
+		// at its preallocated base so capacity never decays and the
+		// follow-up sbPrefetch append cannot reallocate. Depth is small
+		// (default 4), so the copy is a few moves.
+		copy(buf.entries, buf.entries[1:])
+		buf.entries = buf.entries[:len(buf.entries)-1]
 		ready = head.ready
 		if ready < t+h.cfg.L1.AccessCycles {
 			ready = t + h.cfg.L1.AccessCycles
@@ -129,6 +142,7 @@ func (h *Hierarchy) sbPrefetch(buf *streamBuffer, block uint64, t int64) {
 		return
 	}
 	crit, _ := h.l2Access(addr, t)
+	//memlint:allow hotlint len is bounded by Depth and cap is preallocated in newSBState
 	buf.entries = append(buf.entries, sbEntry{block: block, ready: crit})
 	h.stats.StreamBufPrefetches++
 }

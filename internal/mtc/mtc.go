@@ -192,6 +192,13 @@ func New(cfg Config, s trace.Stream) (*MTC, error) {
 // table must have been built at cfg.BlockSize over exactly the trace that
 // will later be replayed through Run/RunRefs. The table is only read, so
 // the same Future may back any number of MTCs, concurrently.
+//
+// Construction runs once per simulated configuration, not once per
+// reference, so it is excluded from SimulateRefs' hot set: its
+// allocations and validation errors are setup cost, amortized over the
+// whole replay.
+//
+//memwall:cold
 func NewWithFuture(cfg Config, f *Future) (*MTC, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -202,7 +209,7 @@ func NewWithFuture(cfg Config, f *Future) (*MTC, error) {
 	if f.blockSize != cfg.BlockSize {
 		return nil, fmt.Errorf("mtc: future table built for %dB blocks, config wants %dB", f.blockSize, cfg.BlockSize)
 	}
-	capacity := cfg.Size / cfg.BlockSize
+	capacity := cfg.Size / max(1, cfg.BlockSize) // Validate rejected nonpositive block sizes above
 	heapCap := capacity
 	if f.numBlocks < heapCap {
 		heapCap = f.numBlocks
@@ -283,8 +290,13 @@ func (m *MTC) heapDown(i int) {
 }
 
 func (m *MTC) heapPush(id int32, nextUse int64) {
+	// Extend within the preallocated backing array instead of append:
+	// NewWithFuture sizes cap(m.heap) to min(capacity, numBlocks), and
+	// residency never exceeds either bound, so this is allocation-free on
+	// the replay hot path.
 	i := len(m.heap)
-	m.heap = append(m.heap, heapElem{nextUse: nextUse, id: id})
+	m.heap = m.heap[: i+1 : cap(m.heap)]
+	m.heap[i] = heapElem{nextUse: nextUse, id: id}
 	m.entries[id].heapPos = int32(i) + 1
 	m.heapUp(i)
 }
@@ -389,8 +401,17 @@ func (m *MTC) access(isWrite bool, t int) {
 // invariant backstop for callers that bypass SimulateRefs' validation.
 func (m *MTC) checkLen(t int) {
 	if t >= m.fut.Len() {
-		panic(fmt.Sprintf("mtc: invariant violated: replaying reference %d of a trace but the future table was built over only %d references; Run must replay the exact trace passed to New/NewFuture", t, m.fut.Len()))
+		panicLenMismatch(t, m.fut.Len())
 	}
+}
+
+// panicLenMismatch formats the checkLen invariant panic. It is a
+// separate //memwall:cold function so the fmt call stays out of the
+// replay loop's hot set (and out of its inlining budget).
+//
+//memwall:cold
+func panicLenMismatch(t, n int) {
+	panic(fmt.Sprintf("mtc: invariant violated: replaying reference %d of a trace but the future table was built over only %d references; Run must replay the exact trace passed to New/NewFuture", t, n))
 }
 
 // Flush writes back all dirty resident blocks, as at program completion.
@@ -446,17 +467,27 @@ func Simulate(cfg Config, s trace.Stream) (Stats, error) {
 // table (built by FutureOfRefs/NewFuture at cfg.BlockSize over exactly
 // refs). This is the grid-sweep fast path: the table is built once and
 // every configuration replays against it.
+//
+//memwall:hot
 func SimulateRefs(cfg Config, f *Future, refs []trace.Ref) (Stats, error) {
 	// Validate the trace/table pairing up front: a mismatched pairing is a
 	// caller input error (e.g. a table built over a different trace), and
 	// belongs in the error return, not in checkLen's invariant panic deep
 	// inside the replay loop.
 	if f != nil && len(refs) > f.Len() {
-		return Stats{}, fmt.Errorf("mtc: trace/future mismatch: replaying %d references against a future table built over %d; build the table with FutureOfRefs over exactly this trace", len(refs), f.Len())
+		return Stats{}, errFutureMismatch(len(refs), f.Len())
 	}
 	m, err := NewWithFuture(cfg, f)
 	if err != nil {
 		return Stats{}, err
 	}
 	return m.RunRefs(refs), nil
+}
+
+// errFutureMismatch formats SimulateRefs' input-validation error on a
+// //memwall:cold path, keeping fmt out of the hot set.
+//
+//memwall:cold
+func errFutureMismatch(refs, futLen int) error {
+	return fmt.Errorf("mtc: trace/future mismatch: replaying %d references against a future table built over %d; build the table with FutureOfRefs over exactly this trace", refs, futLen)
 }

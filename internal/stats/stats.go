@@ -77,7 +77,7 @@ func LinearFit(x, y []float64) (a, b float64, err error) {
 		return 0, 0, errors.New("stats: mismatched series lengths")
 	}
 	n := float64(len(x))
-	if len(x) < 2 {
+	if n < 2 {
 		return 0, 0, errors.New("stats: need at least two points")
 	}
 	var sx, sy, sxx, sxy float64
@@ -145,9 +145,18 @@ func (r *RNG) Uint64() uint64 {
 // Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
-		panic(fmt.Sprintf("stats: invariant violated: Intn needs n >= 1, got n = %d", n))
+		panic(intnErr(n))
 	}
 	return int(r.Uint64() % uint64(n))
+}
+
+// intnErr formats the Intn contract panic. Separate //memwall:cold
+// function: Intn sits on cache-replacement hot paths and the fmt call
+// must not count against them.
+//
+//memwall:cold
+func intnErr(n int) string {
+	return fmt.Sprintf("stats: invariant violated: Intn needs n >= 1, got n = %d", n)
 }
 
 // Float64 returns a pseudo-random float64 in [0, 1).

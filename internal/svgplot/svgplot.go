@@ -12,7 +12,7 @@ import (
 )
 
 // palette is a colour cycle for series.
-var palette = []string{
+var palette = [...]string{
 	"#1f5fa8", "#c0392b", "#1e8449", "#8e44ad", "#b7950b",
 	"#148f9e", "#d35400", "#5d6d7e", "#7d3c98", "#2e4053",
 }
@@ -85,14 +85,20 @@ func (c *Chart) Render(w io.Writer) error {
 	if minY > maxY {
 		minY, maxY = 0, 1
 	}
-	if maxX == minX {
-		maxX++
+	spanX := maxX - minX
+	if spanX == 0 {
+		spanX = 1
 	}
-	if maxY == minY {
-		maxY++
+	spanY := maxY - minY
+	if spanY == 0 {
+		spanY = 1
 	}
-	px := func(x float64) float64 { return float64(mL) + (x-minX)/(maxX-minX)*float64(plotW) }
-	py := func(y float64) float64 { return float64(mT) + (1-(y-minY)/(maxY-minY))*float64(plotH) }
+	// Precomputed pixels-per-unit: the closures stay division-free, so
+	// the guarded spans above are the only divisors.
+	sx := float64(plotW) / spanX
+	sy := float64(plotH) / spanY
+	px := func(x float64) float64 { return float64(mL) + (x-minX)*sx }
+	py := func(y float64) float64 { return float64(mT) + float64(plotH) - (y-minY)*sy }
 
 	var b strings.Builder
 	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", width, height)
@@ -176,7 +182,7 @@ type StackedBars struct {
 	Width, Height int
 }
 
-var segColors = []string{"#5d6d7e", "#e67e22", "#c0392b"}
+var segColors = [...]string{"#5d6d7e", "#e67e22", "#c0392b"}
 
 // Render writes the bar chart as a complete SVG document.
 func (sb *StackedBars) Render(w io.Writer) error {
@@ -216,7 +222,7 @@ func (sb *StackedBars) Render(w io.Writer) error {
 		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" dominant-baseline="middle">%.1f</text>`+"\n", mL-6, y, v)
 	}
 	groupW := float64(width-mL-20) / float64(max(1, len(sb.Groups)))
-	barW := groupW / float64(max(1, len(sb.BarLabels))+1)
+	barW := groupW / float64(max(2, len(sb.BarLabels)+1))
 	for gi, group := range sb.Groups {
 		gx := float64(mL) + groupW*float64(gi)
 		for bi := range sb.BarLabels {
@@ -267,11 +273,4 @@ func fmtTick(v float64) string {
 	default:
 		return fmt.Sprintf("%.2g", v)
 	}
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -133,7 +133,7 @@ type Plot struct {
 }
 
 // DefaultMarks are the per-series point glyphs, cycled in order.
-var DefaultMarks = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&', '^', '~'}
+var DefaultMarks = [...]byte{'*', 'o', '+', 'x', '#', '@', '%', '&', '^', '~'}
 
 // Add appends a data series to the plot.
 func (p *Plot) Add(s Series) {
@@ -187,6 +187,14 @@ func (p *Plot) String() string {
 	if maxY == minY {
 		maxY = minY + 1
 	}
+	spanX := maxX - minX
+	if spanX == 0 {
+		spanX = 1
+	}
+	spanY := maxY - minY
+	if spanY == 0 {
+		spanY = 1
+	}
 	grid := make([][]byte, h)
 	for i := range grid {
 		grid[i] = []byte(strings.Repeat(" ", w))
@@ -199,8 +207,8 @@ func (p *Plot) String() string {
 			if !okx || !oky {
 				continue
 			}
-			cx := int(math.Round((x - minX) / (maxX - minX) * float64(w-1)))
-			cy := int(math.Round((y - minY) / (maxY - minY) * float64(h-1)))
+			cx := int(math.Round((x - minX) / spanX * float64(w-1)))
+			cy := int(math.Round((y - minY) / spanY * float64(h-1)))
 			row := h - 1 - cy
 			if grid[row][cx] == ' ' || grid[row][cx] == mark {
 				grid[row][cx] = mark

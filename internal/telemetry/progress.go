@@ -57,6 +57,9 @@ func (p *Progress) Beat(insts, cycles int64) {
 		return
 	}
 	dt := now.Sub(p.last).Seconds()
+	if dt <= 0 { // a zero reporting period would print an infinite rate
+		dt = 1e-9
+	}
 	rate := float64(p.cycles-p.lastCycles) / dt
 	fmt.Fprintf(p.w, "progress: %s insts, %s sim-cycles, %s sim-cycles/s\n",
 		siCount(p.insts), siCount(p.cycles), siCount(int64(rate)))

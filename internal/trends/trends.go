@@ -29,11 +29,22 @@ type Chip struct {
 	PinBWMBs float64
 }
 
-// MIPSPerPin is the Figure 1b y-value.
-func (c Chip) MIPSPerPin() float64 { return c.MIPS / float64(c.Pins) }
+// MIPSPerPin is the Figure 1b y-value (0 when the pin count is missing).
+func (c Chip) MIPSPerPin() float64 {
+	if c.Pins == 0 {
+		return 0
+	}
+	return c.MIPS / float64(c.Pins)
+}
 
-// MIPSPerBW is the Figure 1c y-value (MIPS per MB/s of package bandwidth).
-func (c Chip) MIPSPerBW() float64 { return c.MIPS / c.PinBWMBs }
+// MIPSPerBW is the Figure 1c y-value (MIPS per MB/s of package bandwidth;
+// 0 when the bandwidth value is missing).
+func (c Chip) MIPSPerBW() float64 {
+	if c.PinBWMBs == 0 {
+		return 0
+	}
+	return c.MIPS / c.PinBWMBs
+}
 
 // Chips returns the eighteen processors plotted in Figure 1, in
 // chronological order. Pin counts are the documented package totals;
@@ -124,6 +135,9 @@ type Extrapolation struct {
 // sustained performance growth).
 func Extrapolate(basePins float64, pinGrowth, perfGrowth float64, years int) Extrapolation {
 	pinF := math.Pow(1+pinGrowth, float64(years))
+	if pinF == 0 { // pinGrowth == -1: pins extrapolate to zero
+		pinF = 1
+	}
 	perfF := math.Pow(1+perfGrowth, float64(years))
 	return Extrapolation{
 		Years:                 years,

@@ -131,3 +131,24 @@ func TestZeroYearExtrapolation(t *testing.T) {
 		t.Errorf("zero-year extrapolation must be identity: %+v", e)
 	}
 }
+
+func TestMissingFieldsDivideToZero(t *testing.T) {
+	// Chips with missing pin or bandwidth data yield 0, not ±Inf/NaN
+	// (guardlint regression).
+	c := Chip{Name: "ghost", Year: 1980, MIPS: 1}
+	if got := c.MIPSPerPin(); got != 0 {
+		t.Errorf("MIPSPerPin with zero pins = %g, want 0", got)
+	}
+	if got := c.MIPSPerBW(); got != 0 {
+		t.Errorf("MIPSPerBW with zero bandwidth = %g, want 0", got)
+	}
+}
+
+func TestExtrapolateDegenerateGrowth(t *testing.T) {
+	// pinGrowth == -1 extrapolates pins to zero; the bandwidth-per-pin
+	// factor must stay finite (guardlint regression).
+	e := Extrapolate(500, -1, 0.6, 10)
+	if math.IsInf(e.BandwidthPerPinFactor, 0) || math.IsNaN(e.BandwidthPerPinFactor) {
+		t.Errorf("BandwidthPerPinFactor = %g, want finite", e.BandwidthPerPinFactor)
+	}
+}

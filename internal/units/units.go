@@ -74,13 +74,17 @@ func (w Words) Bytes(wordSize int) Bytes { return Bytes(int64(w) * int64(wordSiz
 func (b Blocks) Bytes(blockSize int) Bytes { return Bytes(int64(b) * int64(blockSize)) }
 
 // Words converts a byte count at the given word size, rounding up.
+// A non-positive word size is treated as 1 byte per word.
 func (b Bytes) Words(wordSize int) Words {
-	return Words((int64(b) + int64(wordSize) - 1) / int64(wordSize))
+	w := int64(max(1, wordSize))
+	return Words((int64(b) + w - 1) / w)
 }
 
 // Blocks converts a byte count at the given block size, rounding up.
+// A non-positive block size is treated as 1 byte per block.
 func (b Bytes) Blocks(blockSize int) Blocks {
-	return Blocks((int64(b) + int64(blockSize) - 1) / int64(blockSize))
+	bs := int64(max(1, blockSize))
+	return Blocks((int64(b) + bs - 1) / bs)
 }
 
 // Float returns the count as a float64, for ratio computations.
@@ -95,8 +99,9 @@ func (i Insts) Float() float64 { return float64(i) }
 // Ratio returns num/den (0 when den is 0) — the shape of every traffic
 // ratio and time fraction in the paper.
 func Ratio[T Bytes | Words | Blocks | Cycles | Insts](num, den T) float64 {
-	if den == 0 {
+	d := float64(den)
+	if d == 0 {
 		return 0
 	}
-	return float64(num) / float64(den)
+	return float64(num) / d
 }

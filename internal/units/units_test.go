@@ -61,3 +61,20 @@ func TestOtherStrings(t *testing.T) {
 		t.Errorf("Insts.String() = %q", got)
 	}
 }
+
+func TestWordsBlocksDegenerateSizes(t *testing.T) {
+	// Nonpositive word/block sizes are treated as 1 rather than dividing
+	// by zero (guardlint regression).
+	if got := Bytes(10).Words(0); got != 10 {
+		t.Errorf("Words(0) = %d, want 10", got)
+	}
+	if got := Bytes(10).Words(-4); got != 10 {
+		t.Errorf("Words(-4) = %d, want 10", got)
+	}
+	if got := Bytes(64).Blocks(0); got != 64 {
+		t.Errorf("Blocks(0) = %d, want 64", got)
+	}
+	if got := Bytes(64).Blocks(32); got != 2 {
+		t.Errorf("Blocks(32) = %d, want 2", got)
+	}
+}

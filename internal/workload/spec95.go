@@ -12,7 +12,7 @@ import (
 // the paper) sweeping several field arrays with a seven-point stencil.
 func genApplu(k *kernel) {
 	b := k.b
-	dim := 24
+	const dim = 24
 	fields := 5
 	grids := make([]uint64, fields)
 	for g := range grids {
@@ -20,7 +20,7 @@ func genApplu(k *kernel) {
 	}
 	at := func(g uint64, x, y, z int) uint64 { return word(g, (x*dim+y)*dim+z) }
 	iters := 2 * k.scale
-	inner := dim - 2
+	const inner = dim - 2
 	for it := 0; it < iters; it++ {
 		k.loop("applu.sweep", inner*inner*inner, func(cell int) {
 			x := 1 + cell/(inner*inner)
@@ -93,8 +93,8 @@ func genLi(k *kernel) {
 // associative lookups mixed with sequential buffer scans.
 func genPerl(k *kernel) {
 	b := k.b
-	tableWords := 256 * 1024 // 1 MB hash table
-	bufWords := 96 * 1024    // 384 KB string buffer
+	const tableWords = 256 * 1024 // 1 MB hash table
+	const bufWords = 96 * 1024    // 384 KB string buffer
 	table := k.alloc("symbol-table", tableWords*4, 4096)
 	buf := k.alloc("string-buffer", bufWords*4, 4096)
 	ops := 11000 * k.scale

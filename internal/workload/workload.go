@@ -267,6 +267,9 @@ func (k *kernel) loop(site string, n int, body func(i int)) {
 // scattered hot words — the mechanism behind the paper's one-to-two
 // order-of-magnitude traffic-inefficiency gaps for the integer codes.
 func (k *kernel) zipfSlot(n int) int {
+	if n < 1 {
+		return 0
+	}
 	u := k.rng.Float64()
 	// Squaring u steepens the distribution (most draws land on low
 	// ranks), giving the high re-reference density of real traces.

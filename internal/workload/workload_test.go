@@ -355,3 +355,17 @@ func TestRegionLookup(t *testing.T) {
 		}
 	}
 }
+
+func TestZipfSlotDegenerateN(t *testing.T) {
+	// A zero or negative slot count returns slot 0 instead of a
+	// divide-by-zero panic (guardlint regression).
+	k := newKernel("zipf-degenerate", 1)
+	for _, n := range []int{0, -1} {
+		if got := k.zipfSlot(n); got != 0 {
+			t.Errorf("zipfSlot(%d) = %d, want 0", n, got)
+		}
+	}
+	if got := k.zipfSlot(1); got != 0 {
+		t.Errorf("zipfSlot(1) = %d, want 0", got)
+	}
+}
