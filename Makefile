@@ -17,20 +17,22 @@ bench:
 
 # Machine-readable before/after benchmark artifact. Runs the paper-artifact
 # benchmarks that the trace corpus accelerates (plus the corpus-neutral
-# Figure 3 pair) at a short -benchtime and converts the output into
-# BENCH_PR6.json: the *NoCorpus/*Corpus pairs become before/after rows
-# with their speedups. The conversion also checks trends against the
-# committed BENCH_PR4.json baseline (trend table on stderr) and fails on
-# a regression past 4x — generous because the two artifacts may come
-# from different hosts at short -benchtime; the gate is for
-# order-of-magnitude accidents, not noise. CI uploads the file as a
-# build artifact. The intermediate file keeps a benchjson failure from
-# being masked by a pipeline's exit status.
+# Figure 3 pair) and converts the output into BENCH_PR8.json: the
+# *NoCorpus/*Corpus pairs become before/after rows with their speedups.
+# The binary is built with the committed CPU profile (default.pgo —
+# `go test` does not pick it up implicitly, the flag is required), each
+# benchmark runs -count 3, and benchjson keeps the per-benchmark minimum,
+# so one noisy repeat on a shared host cannot fake a regression. The
+# conversion also checks trends against the committed BENCH_PR7.json
+# baseline (trend table on stderr) and fails past benchjson's default
+# 1.25x gate. CI uploads the file as a build artifact. The intermediate
+# file keeps a benchjson failure from being masked by a pipeline's exit
+# status.
 bench-json:
-	$(GO) test -run '^$$' -bench 'Table7|Figure3|MTC' -benchtime 5x . > bench_raw.txt
-	$(GO) run ./cmd/benchjson -baseline BENCH_PR6.json -max-regress 4 < bench_raw.txt > BENCH_PR7.json
+	$(GO) test -run '^$$' -bench 'Table7|Figure3|MTC' -benchtime 5x -count 3 -pgo=default.pgo . > bench_raw.txt
+	$(GO) run ./cmd/benchjson -baseline BENCH_PR7.json < bench_raw.txt > BENCH_PR8.json
 	@rm -f bench_raw.txt
-	@cat BENCH_PR7.json
+	@cat BENCH_PR8.json
 
 vet:
 	$(GO) vet ./...

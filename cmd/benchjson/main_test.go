@@ -64,3 +64,34 @@ func TestCheckBaselineMissingFile(t *testing.T) {
 		t.Fatal("missing baseline file accepted")
 	}
 }
+
+func TestRepeatedRunsKeepMinimum(t *testing.T) {
+	in := strings.NewReader(`goos: linux
+BenchmarkFigure3SPEC92-8   1   1500000000 ns/op
+BenchmarkFigure3SPEC92-8   1   1000000000 ns/op
+BenchmarkFigure3SPEC92-8   1   1300000000 ns/op
+PASS
+`)
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run(in, "", 1.25)
+	w.Close()
+	os.Stdout = old
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	var art Artifact
+	if err := json.NewDecoder(r).Decode(&art); err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Results) != 1 {
+		t.Fatalf("results = %+v", art.Results)
+	}
+	if got := art.Results[0].NsPerOp; got != 1e9 {
+		t.Errorf("min-of-3 ns/op = %v, want 1e9 (the fastest repeat)", got)
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"memwall/internal/cache"
 	"memwall/internal/core"
+	"memwall/internal/mem"
 	"memwall/internal/mtc"
 	"memwall/internal/runner"
 	"memwall/internal/telemetry"
@@ -326,6 +327,69 @@ func runSelfcheck(args []string) error {
 		}
 		c6.collect(msgs)
 		results = append(results, c6)
+
+		// Check 7 (timing): miss-accounting conservation. Every access
+		// classifies as exactly one of scratchpad hit, L1 hit, merged miss,
+		// or miss; and every L2 access (the L1 misses that fall through the
+		// victim and stream buffers, plus tagged and stream-buffer
+		// prefetches) classifies as exactly one of L2 hit, merged miss, or
+		// miss. The in-flight forwarding path historically incremented
+		// nothing, so the L2 ledger leaked. The grid includes a stream-
+		// buffer + victim-cache variant of C so the buffer terms are
+		// exercised, and E so prefetches are.
+		c7 := checkResult{name: "miss accounting (L1 and L2 ledgers conserve)"}
+		type acctCell struct {
+			name, exp string
+			buffers   bool
+		}
+		var grid7 []acctCell
+		for _, name := range pick("compress", "su2cor", "li") {
+			for _, expName := range []string{"A", "C", "E"} {
+				grid7 = append(grid7, acctCell{name, expName, false})
+			}
+			grid7 = append(grid7, acctCell{name, "C", true})
+		}
+		msgs, err = runner.Map(ctx, pool(func(i int) string {
+			g := grid7[i]
+			key := "selfcheck:miss-accounting:" + g.name + "/" + g.exp
+			if g.buffers {
+				key += "+buffers"
+			}
+			return key
+		}), len(grid7), func(ctx context.Context, i int, tracer *telemetry.Tracer) (string, error) {
+			g := grid7[i]
+			p := progs[g.name]
+			m, err := core.MachineByName(p.Suite, g.exp, *cacheScale)
+			if err != nil {
+				return "", err
+			}
+			if g.buffers {
+				m.Mem.StreamBuffers = mem.StreamBufferConfig{Buffers: 4, Depth: 4}
+				m.Mem.VictimCache = mem.VictimCacheConfig{Entries: 4}
+			}
+			m.Obs = taskObservation(tracer)
+			res, err := core.Decompose(m, p.Stream())
+			if err != nil {
+				return "", err
+			}
+			st := res.Full.Mem
+			accesses := st.Loads + st.Stores
+			classified := st.ScratchpadHits + st.L1Hits + st.L1MergedMisses + st.L1Misses
+			if accesses != classified {
+				return fmt.Sprintf("%s/%s: L1 ledger leaks: %d accesses, %d classified", g.name, g.exp, accesses, classified), nil
+			}
+			l2Accesses := (st.L1Misses - st.VictimHits - st.StreamBufHits) + st.Prefetches + st.StreamBufPrefetches
+			l2Classified := st.L2Hits + st.L2MergedMisses + st.L2Misses
+			if l2Accesses != l2Classified {
+				return fmt.Sprintf("%s/%s: L2 ledger leaks: %d accesses, %d classified", g.name, g.exp, l2Accesses, l2Classified), nil
+			}
+			return "", nil
+		})
+		if err != nil {
+			return err
+		}
+		c7.collect(msgs)
+		results = append(results, c7)
 	}
 
 	bad := 0

@@ -17,6 +17,9 @@
 //     explicit conversions of concrete values to interface types;
 //   - defer (a frame push per call);
 //   - map iteration (order-randomized, cache-hostile);
+//   - map indexing and delete (hashing plus bucket walks per access —
+//     hot-path state belongs in flat keyed tables, see
+//     internal/mem's fill table);
 //   - closures that capture enclosing variables (captures force heap
 //     allocation of the captured slot);
 //   - any call into package fmt (reflection plus boxing).
@@ -102,6 +105,14 @@ func checkHotFunc(mp *analysis.ModulePass, n *analysis.CallNode, root string) {
 					mp.Reportf(e.Pos(), "map iteration%s; order-randomized and cache-hostile", via)
 				}
 			}
+		case *ast.IndexExpr:
+			// Reads, writes, and comma-ok lookups all surface as an
+			// IndexExpr over a map operand.
+			if t := info.TypeOf(e.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					mp.Reportf(e.Pos(), "map index%s; hashing and bucket walks per access — keep hot state in a flat keyed table", via)
+				}
+			}
 		case *ast.FuncLit:
 			reportCaptures(mp, info, n, e, via)
 		case *ast.UnaryExpr:
@@ -146,6 +157,10 @@ func checkHotCall(mp *analysis.ModulePass, info *types.Info, call *ast.CallExpr,
 		case "append":
 			if _, isBuiltin := info.Uses[fun].(*types.Builtin); isBuiltin {
 				mp.Reportf(call.Pos(), "append may grow its backing array%s", via)
+			}
+		case "delete":
+			if _, isBuiltin := info.Uses[fun].(*types.Builtin); isBuiltin {
+				mp.Reportf(call.Pos(), "map delete%s; amortized cleanup belongs in a //memwall:cold sweep", via)
 			}
 		}
 	case *ast.SelectorExpr:

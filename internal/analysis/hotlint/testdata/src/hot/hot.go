@@ -29,6 +29,11 @@ func step(evs []event, p policy, m map[uint64]event) int {
 	for range m { // want "map iteration on a hot path \(via hot.step\); order-randomized and cache-hostile"
 		total++
 	}
+	if e, ok := m[0]; ok { // want "map index on a hot path \(via hot.step\); hashing and bucket walks per access — keep hot state in a flat keyed table"
+		total += int(e.cycle)
+	}
+	m[1] = event{} // want "map index on a hot path \(via hot.step\); hashing and bucket walks per access — keep hot state in a flat keyed table"
+	delete(m, 1)   // want "map delete on a hot path \(via hot.step\); amortized cleanup belongs in a //memwall:cold sweep"
 	total += advance(evs)
 	total += p.Pick(total) // want "dynamic call hot.policy.Pick through an interface on a hot path \(via hot.step\)"
 	if total < 0 {

@@ -33,12 +33,15 @@ func step(r *ring, evs []event) int {
 }
 
 // report is NOT hot: nothing reachable from step calls it, so its
-// defers, allocations, and fmt use are fine.
+// defers, allocations, map accesses, and fmt use are fine.
 func report(r *ring) string {
 	defer func() { r.head = 0 }()
+	byAddr := map[uint64]int{}
 	lines := make([]string, 0, len(r.buf))
 	for _, e := range r.buf {
+		byAddr[e.addr]++
 		lines = append(lines, fmt.Sprintf("%d@%d", e.addr, e.cycle))
 	}
+	delete(byAddr, 0)
 	return fmt.Sprint(lines)
 }

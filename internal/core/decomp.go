@@ -144,6 +144,40 @@ type DecomposeResult struct {
 // are methodological scaffolding, and publishing them would triple-count
 // every event) are folded into the metrics registry.
 func Decompose(m Machine, s isa.Stream) (DecomposeResult, error) {
+	return decompose(m, s, nil)
+}
+
+// PerfectTime measures T_P alone: the perfect-memory simulation of
+// Section 3.1, without the infinite-bandwidth and full runs. T_P depends
+// only on the core configuration — Perfect mode answers every access in
+// one cycle before touching the hierarchy — so machines that share a core
+// (A/B/C, and D/E, in Table 5) share a single T_P per program, and grid
+// sweeps compute it once (see Figure3Pool).
+func PerfectTime(m Machine, s isa.Stream) (units.Cycles, error) {
+	cfg := m.Mem
+	cfg.Mode = mem.Perfect
+	ccfg := m.CPU
+	ccfg.Progress = m.Obs.Progress
+	h, err := mem.New(cfg)
+	if err != nil {
+		return 0, fmt.Errorf("machine %s: %w", m.Name, err)
+	}
+	res, err := cpu.Run(ccfg, h, s)
+	if err != nil {
+		return 0, err
+	}
+	return units.Cycles(res.Cycles), nil
+}
+
+// DecomposeWithTP is Decompose with the perfect-memory run's cycle count
+// supplied by the caller (from PerfectTime on a machine with an identical
+// core). Only the infinite-bandwidth and full simulations run; Wall.Perfect
+// is zero since no perfect simulation happened in this call.
+func DecomposeWithTP(m Machine, s isa.Stream, tp units.Cycles) (DecomposeResult, error) {
+	return decompose(m, s, &tp)
+}
+
+func decompose(m Machine, s isa.Stream, sharedTP *units.Cycles) (DecomposeResult, error) {
 	var out DecomposeResult
 	run := func(mode mem.Mode) (cpu.Result, time.Duration, error) {
 		cfg := m.Mem
@@ -171,9 +205,16 @@ func Decompose(m Machine, s isa.Stream) (DecomposeResult, error) {
 		sp.End()
 		return res, wall, err
 	}
-	perfect, wallP, err := run(mem.Perfect)
-	if err != nil {
-		return out, err
+	var tp units.Cycles
+	var wallP time.Duration
+	if sharedTP != nil {
+		tp = *sharedTP
+	} else {
+		perfect, w, err := run(mem.Perfect)
+		if err != nil {
+			return out, err
+		}
+		tp, wallP = units.Cycles(perfect.Cycles), w
 	}
 	infinite, wallI, err := run(mem.InfiniteBW)
 	if err != nil {
@@ -184,7 +225,7 @@ func Decompose(m Machine, s isa.Stream) (DecomposeResult, error) {
 		return out, err
 	}
 	out.Wall = PhaseWall{Perfect: wallP, InfiniteBW: wallI, Full: wallF}
-	out.TP = units.Cycles(perfect.Cycles)
+	out.TP = tp
 	out.TI = units.Cycles(infinite.Cycles)
 	out.T = units.Cycles(full.Cycles)
 	out.Full = full

@@ -47,6 +47,26 @@ func (t *TwoLevel) Predict(pc uint32) bool {
 	return t.table[t.index(pc)] >= 2
 }
 
+// PredictUpdate returns the prediction for pc and then trains on the
+// resolved direction, indexing the pattern table once instead of twice.
+// State evolution is identical to Predict followed by Update; the
+// per-branch core loops use the fused form.
+func (t *TwoLevel) PredictUpdate(pc uint32, taken bool) bool {
+	i := t.index(pc)
+	c := t.table[i]
+	pred := c >= 2
+	if taken {
+		if c < 3 {
+			c++
+		}
+	} else if c > 0 {
+		c--
+	}
+	t.table[i] = c
+	t.history = ((t.history << 1) | b2u(taken)) & ((1 << t.histBits) - 1)
+	return pred
+}
+
 // Update implements Predictor.
 func (t *TwoLevel) Update(pc uint32, taken bool) {
 	i := t.index(pc)

@@ -339,9 +339,10 @@ func TestSlotSchedWindowSlide(t *testing.T) {
 	if got := s.reserve(100000); got != 100000 {
 		t.Errorf("far reservation = %d", got)
 	}
-	// Past-the-window reservation clamps to base without panicking.
-	if got := s.reserve(0); got < 0 {
-		t.Errorf("past reservation = %d", got)
+	// Behind-the-window reservation is granted in place (see
+	// TestSlotSchedBehindWindowGrant).
+	if got := s.reserve(0); got != 0 {
+		t.Errorf("past reservation = %d, want 0", got)
 	}
 }
 
@@ -389,5 +390,87 @@ func TestLargerWindowNeverSlowerOnPerfectMemory(t *testing.T) {
 			t.Errorf("RUU %d slower than smaller: %d > %d", ruu, r.Cycles, prev)
 		}
 		prev = r.Cycles
+	}
+}
+
+func TestSlotSchedBehindWindowGrant(t *testing.T) {
+	// Regression: a reservation behind the window start used to be
+	// clamped to the window's first cycle and booked there, charging a
+	// long-past issue against current-cycle capacity. It must instead be
+	// granted in place — slots that far behind the dispatch point are
+	// free — without booking anything.
+	s := newSlotSched(1)
+	if got := s.reserve(100000); got != 100000 {
+		t.Fatalf("far reservation = %d", got)
+	}
+	if got := s.reserve(s.base - 100); got != s.base-100 {
+		t.Errorf("behind-window reservation = %d, want %d", got, s.base-100)
+	}
+	if got := s.reserve(s.base); got != s.base {
+		t.Errorf("window-start reservation = %d, want %d (capacity leaked from the clamp)", got, s.base)
+	}
+}
+
+func TestSlotSchedSlideKeepsRecentOccupancy(t *testing.T) {
+	// A window slide must carry occupancy within slideKeep cycles of the
+	// new base: reservations cluster behind the dispatch point, and
+	// forgetting them would over-issue after every slide.
+	s := newSlotSched(1)
+	booked := int64(len(s.count)) - 200 // near the window's far edge
+	if got := s.reserve(booked); got != booked {
+		t.Fatalf("edge reservation = %d, want %d", got, booked)
+	}
+	trigger := int64(len(s.count)) // one past the window: forces a slide
+	if got := s.reserve(trigger); got != trigger {
+		t.Fatalf("slide-triggering reservation = %d, want %d", got, trigger)
+	}
+	if booked < s.base {
+		t.Fatalf("test setup: booked cycle %d slid out of the window (base %d)", booked, s.base)
+	}
+	// The pre-slide booking survived: a second claim must spill.
+	if got := s.reserve(booked); got != booked+1 {
+		t.Errorf("re-reservation = %d, want %d (occupancy lost in slide)", got, booked+1)
+	}
+}
+
+func TestStepSteadyStateAllocs(t *testing.T) {
+	// The out-of-order step path must not allocate once warm; allocation
+	// in the per-instruction loop would dominate a Figure 3 sweep.
+	h := smallHierarchy(t, mem.Full, 8)
+	p := newOutOfOrder(oooCfg(), h)
+	insts := repeat(64,
+		isa.Inst{Op: isa.Load, Dst: 1, Addr: 0x100, PC: 1},
+		isa.Inst{Op: isa.IALU, Dst: 2, Src1: 1, PC: 2},
+		isa.Inst{Op: isa.Store, Src1: 2, Addr: 0x2000, PC: 3},
+		isa.Inst{Op: isa.Branch, Src1: 2, Taken: true, PC: 4},
+	)
+	var res Result
+	run := func() {
+		for i := range insts {
+			p.step(&insts[i], &res)
+		}
+	}
+	run() // warm: first misses populate the fill tables
+	if n := testing.AllocsPerRun(20, run); n != 0 {
+		t.Errorf("outOfOrder.step steady state allocates %.1f times per run", n)
+	}
+}
+
+func TestDrainSteadyStateAllocs(t *testing.T) {
+	// Same guarantee for the fused drain fast path Run takes when no
+	// heartbeat or attribution probe is attached.
+	h := smallHierarchy(t, mem.Full, 8)
+	p := newInOrder(inorderCfg(), h)
+	insts := repeat(64,
+		isa.Inst{Op: isa.Load, Dst: 1, Addr: 0x100, PC: 1},
+		isa.Inst{Op: isa.IALU, Dst: 2, Src1: 1, PC: 2},
+		isa.Inst{Op: isa.Store, Src1: 2, Addr: 0x2000, PC: 3},
+		isa.Inst{Op: isa.Branch, Src1: 2, Taken: true, PC: 4},
+	)
+	var res Result
+	run := func() { p.drain(insts, &res) }
+	run()
+	if n := testing.AllocsPerRun(20, run); n != 0 {
+		t.Errorf("inOrder.drain steady state allocates %.1f times per run", n)
 	}
 }

@@ -20,7 +20,9 @@ type inOrder struct {
 	pred  *TwoLevel
 	probe *attrProbe // nil unless Config.Attr is set
 
-	regReady [isa.NumRegs]int64
+	// regReady spans the full uint8 Reg range (not just NumRegs) so the
+	// four reads per instruction index without bounds checks.
+	regReady [256]int64
 	cycle    int64 // current issue cycle
 	issued   int   // instructions issued in 'cycle'
 	lsIssued int   // memory ops issued in 'cycle'
@@ -58,7 +60,7 @@ func (p *inOrder) finish() int64 { return maxI64(p.cycle+1, p.lastComplete) }
 // readiness, and structural limits.
 //
 //memwall:hot
-func (p *inOrder) step(in isa.Inst, res *Result) {
+func (p *inOrder) step(in *isa.Inst, res *Result) {
 	if p.issued >= p.cfg.IssueWidth {
 		p.advanceTo(p.cycle + 1)
 	}
@@ -117,11 +119,10 @@ func (p *inOrder) step(in isa.Inst, res *Result) {
 	case isa.Branch:
 		res.Branches++
 		resolve := p.cycle + Latency(isa.Branch)
-		if p.pred.Predict(in.PC) != in.Taken {
+		if p.pred.PredictUpdate(in.PC, in.Taken) != in.Taken {
 			res.Mispredicts++
 			p.fetchReady = resolve + p.cfg.MispredictPenalty
 		}
-		p.pred.Update(in.PC, in.Taken)
 		complete = resolve
 	default:
 		complete = p.cycle + Latency(in.Op)
@@ -135,4 +136,84 @@ func (p *inOrder) step(in isa.Inst, res *Result) {
 	if complete > p.lastComplete {
 		p.lastComplete = complete
 	}
+}
+
+// drain issues every instruction in insts, equivalent to calling step on
+// each with no heartbeat and no attribution probe attached (the
+// benchmark/grid configuration, which is the only caller). The per-cycle
+// issue state lives in locals across the whole loop instead of
+// round-tripping through the struct on every instruction; any change to
+// step's issue model must be mirrored here — the golden and determinism
+// suites diff the two paths' outputs.
+//
+//memwall:hot
+func (p *inOrder) drain(insts []isa.Inst, res *Result) {
+	cycle, issued, lsIssued := p.cycle, p.issued, p.lsIssued
+	fetchReady, lastComplete := p.fetchReady, p.lastComplete
+	width, lsUnits := p.cfg.IssueWidth, p.cfg.LSUnits
+	h, pred := p.h, p.pred
+	for ii := range insts {
+		in := &insts[ii]
+		if issued >= width {
+			cycle++
+			issued = 0
+			lsIssued = 0
+		}
+		ready := p.regReady[in.Src1]
+		if r2 := p.regReady[in.Src2]; r2 > ready {
+			ready = r2
+		}
+		t := maxI64(cycle, maxI64(ready, fetchReady))
+		if t > cycle {
+			if fetchReady >= ready {
+				res.StallFetch += t - cycle
+			} else {
+				res.StallOperand += t - cycle
+			}
+			cycle = t
+			issued = 0
+			lsIssued = 0
+		}
+		if in.Op.IsMem() {
+			for lsIssued >= lsUnits {
+				res.StallLS++
+				cycle++
+				lsIssued = 0
+				issued = 0
+			}
+			lsIssued++
+		}
+		issued++
+
+		var complete int64
+		switch in.Op {
+		case isa.Load:
+			res.Loads++
+			complete = h.Load(in.Addr, cycle)
+			if in.Dst != 0 {
+				p.regReady[in.Dst] = complete
+			}
+		case isa.Store:
+			res.Stores++
+			complete = h.Store(in.Addr, cycle)
+		case isa.Branch:
+			res.Branches++
+			resolve := cycle + Latency(isa.Branch)
+			if pred.PredictUpdate(in.PC, in.Taken) != in.Taken {
+				res.Mispredicts++
+				fetchReady = resolve + p.cfg.MispredictPenalty
+			}
+			complete = resolve
+		default:
+			complete = cycle + Latency(in.Op)
+			if in.Dst != 0 {
+				p.regReady[in.Dst] = complete
+			}
+		}
+		if complete > lastComplete {
+			lastComplete = complete
+		}
+	}
+	p.cycle, p.issued, p.lsIssued = cycle, issued, lsIssued
+	p.fetchReady, p.lastComplete = fetchReady, lastComplete
 }

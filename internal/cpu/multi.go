@@ -21,7 +21,7 @@ import (
 // engine is the per-core stepping interface shared by the in-order and
 // out-of-order models.
 type engine interface {
-	step(in isa.Inst, res *Result)
+	step(in *isa.Inst, res *Result)
 	time() int64
 	finish() int64
 }
@@ -74,6 +74,7 @@ func addStats(a, b mem.Stats) mem.Stats {
 	a.L1MergedMisses += b.L1MergedMisses
 	a.L2Hits += b.L2Hits
 	a.L2Misses += b.L2Misses
+	a.L2MergedMisses += b.L2MergedMisses
 	a.Prefetches += b.Prefetches
 	a.StreamBufHits += b.StreamBufHits
 	a.StreamBufPrefetches += b.StreamBufPrefetches
@@ -149,7 +150,7 @@ func RunMulti(cfg Config, hs []*mem.Hierarchy, streams []isa.Stream) (MultiResul
 			continue
 		}
 		c.res.Insts++
-		c.eng.step(in, &c.res)
+		c.eng.step(&in, &c.res)
 	}
 	// Aggregate memory statistics across the distinct hierarchies.
 	var agg mem.Stats

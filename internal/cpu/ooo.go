@@ -32,7 +32,9 @@ type outOfOrder struct {
 	pred  *TwoLevel
 	probe *attrProbe // nil unless Config.Attr is set
 
-	regReady [isa.NumRegs]int64
+	// regReady spans the full uint8 Reg range (not just NumRegs) so the
+	// four reads per instruction index without bounds checks.
+	regReady [256]int64
 
 	// Ring buffers of retire times for window/LSQ occupancy: an
 	// instruction cannot dispatch until the instruction RUUSlots (or
@@ -96,54 +98,105 @@ func (p *outOfOrder) dispatchAt(t int64) int64 {
 // issues in dataflow order, a younger instruction may legitimately claim a
 // slot in an earlier cycle than an older, operand-stalled one — a
 // monotonic "next free time" per unit would wrongly serialise that case.
+//
+// Occupancy summary: alongside the per-cycle counts, skip[i] > 0 records
+// that cycles [i, i+skip[i]) are all full, letting reserve hop over a
+// saturated stretch in one step instead of probing it cycle-by-cycle
+// (the historical t++ loop, O(contention span) per call). Distances are
+// lengthened on traversal, union-find style, which is sound because a
+// cycle's occupancy never decreases: once [i, j) is known full it stays
+// full. The distances are relative, so a window slide moves them with a
+// plain copy. The uncontended fast path never touches the summary: a
+// cycle with free capacity books in one count check, exactly as before.
 type slotSched struct {
 	width int
 	base  int64
 	count []uint16
+	skip  []uint16
 }
 
 func newSlotSched(width int) slotSched {
-	return slotSched{width: width, count: make([]uint16, 8192)}
+	return slotSched{width: width, count: make([]uint16, 8192), skip: make([]uint16, 8192)}
 }
 
 // reserve books one slot at the first cycle >= t with free capacity and
 // returns it.
 func (s *slotSched) reserve(t int64) int64 {
 	if t < s.base {
-		// The window has slid past t; issue at the window start (slots
-		// that far back are assumed free — reservations cluster near the
-		// current dispatch point, so this is rare).
-		t = s.base
+		// The window has slid past t. Slots that far behind the dispatch
+		// point are free (reservations cluster near it), so grant t
+		// without booking. The historical code instead clamped t to the
+		// window start and booked there, double-charging current-cycle
+		// capacity against an issue that actually happened long before.
+		return t
 	}
 	for {
 		idx := t - s.base
 		if idx >= int64(len(s.count)) {
-			// Slide the window forward, keeping recent occupancy.
-			shift := idx - int64(len(s.count))/2
-			if shift >= int64(len(s.count)) {
-				// The jump clears the whole window.
-				for i := range s.count {
-					s.count[i] = 0
-				}
-				s.base = t - int64(len(s.count))/2
-				if s.base < 0 {
-					s.base = 0
-				}
-			} else {
-				n := copy(s.count, s.count[shift:])
-				for i := n; i < len(s.count); i++ {
-					s.count[i] = 0
-				}
-				s.base += shift
-			}
+			s.slide(t)
 			idx = t - s.base
 		}
-		if int(s.count[idx]) < s.width {
-			s.count[idx]++
-			return t
+		c := s.count[idx]
+		if int(c) < s.width {
+			c++
+			s.count[idx] = c
+			if int(c) >= s.width {
+				s.skip[idx] = 1
+			}
+			return s.base + idx
 		}
-		t++
+		// Cycle idx is full (so skip[idx] >= 1 by the invariant): hop the
+		// known-full stretch, then lengthen the entry point's distance so
+		// the next reservation hops straight to where this one landed.
+		j := idx + int64(s.skip[idx])
+		for j < int64(len(s.skip)) && s.skip[j] > 0 {
+			j += int64(s.skip[j])
+		}
+		s.skip[idx] = uint16(j - idx)
+		t = s.base + j
 	}
+}
+
+// slideKeep is how many cycles of booked history survive a window slide.
+// Reservations can land behind the current issue point (dataflow order),
+// but only within the span the finite RUU keeps in flight — far less than
+// the retained tail. A smaller tail means each slide copies less and the
+// window advances further per slide, so the amortized copy cost per
+// simulated cycle drops proportionally.
+const slideKeep = 1024
+
+// slide moves the window forward so t falls inside it, keeping recent
+// occupancy (and its skip summary) aligned.
+func (s *slotSched) slide(t int64) {
+	idx := t - s.base
+	shift := idx - slideKeep
+	if shift >= int64(len(s.count)) {
+		// The jump clears the whole window.
+		for i := range s.count {
+			s.count[i] = 0
+		}
+		for i := range s.skip {
+			s.skip[i] = 0
+		}
+		b := t - slideKeep
+		if b < 0 {
+			b = 0
+		}
+		s.base = b
+		return
+	}
+	n := copy(s.count, s.count[shift:])
+	for i := n; i < len(s.count); i++ {
+		s.count[i] = 0
+	}
+	// Relative distances survive the shift unchanged, and none reaches
+	// past one-past-the-old-window-end, so no entry can claim fullness
+	// inside the freshly cleared tail.
+	copy(s.skip, s.skip[shift:])
+	for i := n; i < len(s.skip); i++ {
+		s.skip[i] = 0
+	}
+	s.base += shift
 }
 
 // lsUnit reserves a load/store issue slot at or after t, returning the
@@ -185,7 +238,7 @@ func (p *outOfOrder) retireAt(complete int64) int64 {
 // it and everything it reaches to hot-path hygiene.
 //
 //memwall:hot
-func (p *outOfOrder) step(in isa.Inst, res *Result) {
+func (p *outOfOrder) step(in *isa.Inst, res *Result) {
 	// Structural: RUU slot (and LSQ slot for memory ops) must be free.
 	bound := maxI64(p.fetchReady, p.ruuRetire[p.ruuHead])
 	isMem := in.Op.IsMem()
@@ -257,14 +310,13 @@ func (p *outOfOrder) step(in isa.Inst, res *Result) {
 	case isa.Branch:
 		res.Branches++
 		complete = exec + Latency(isa.Branch)
-		if p.pred.Predict(in.PC) != in.Taken {
+		if p.pred.PredictUpdate(in.PC, in.Taken) != in.Taken {
 			res.Mispredicts++
 			// Fetch redirects after the branch resolves.
 			if nf := complete + p.cfg.MispredictPenalty; nf > p.fetchReady {
 				p.fetchReady = nf
 			}
 		}
-		p.pred.Update(in.PC, in.Taken)
 	default:
 		complete = exec + Latency(in.Op)
 		if in.Dst != 0 {
@@ -276,7 +328,7 @@ func (p *outOfOrder) step(in isa.Inst, res *Result) {
 	}
 
 	if debugHook != nil {
-		debugHook(in, disp, exec, complete)
+		debugHook(*in, disp, exec, complete)
 	}
 	retire := p.retireAt(complete)
 	// Branchless-wrap ring advance: Config.Validate guarantees both rings
@@ -294,4 +346,123 @@ func (p *outOfOrder) step(in isa.Inst, res *Result) {
 			p.lsqHead = 0
 		}
 	}
+}
+
+// drain issues every instruction in insts, equivalent to calling step on
+// each with no heartbeat and no attribution probe attached (the
+// benchmark/grid configuration, which is the only caller). Dispatch,
+// retire, and ring-cursor state lives in locals across the whole loop
+// instead of round-tripping through the struct on every instruction; any
+// change to step's issue model must be mirrored here — the golden and
+// determinism suites diff the two paths' outputs.
+//
+//memwall:hot
+func (p *outOfOrder) drain(insts []isa.Inst, res *Result) {
+	if debugHook != nil {
+		// Per-instruction timing hook (tests only): take the unfused path
+		// so the hook check stays out of the hot loop.
+		for i := range insts {
+			p.step(&insts[i], res)
+		}
+		return
+	}
+	dispatchCycle, dispatched, fetchReady := p.dispatchCycle, p.dispatched, p.fetchReady
+	lastRetire, retireCycle, retiredInCyc := p.lastRetire, p.retireCycle, p.retiredInCyc
+	ruuHead, lsqHead := p.ruuHead, p.lsqHead
+	width := p.cfg.IssueWidth
+	h, pred := p.h, p.pred
+	for ii := range insts {
+		in := &insts[ii]
+		bound := maxI64(fetchReady, p.ruuRetire[ruuHead])
+		isMem := in.Op.IsMem()
+		if isMem {
+			bound = maxI64(bound, p.lsqRetire[lsqHead])
+		}
+		if gap := bound - dispatchCycle; gap > 0 {
+			if fetchReady >= bound {
+				res.StallFetch += gap
+			} else {
+				res.StallWindow += gap
+			}
+		}
+		// dispatchAt, with the cycle/slot counters in registers.
+		if dispatched >= width {
+			dispatchCycle++
+			dispatched = 0
+		}
+		if bound > dispatchCycle {
+			dispatchCycle = bound
+			dispatched = 0
+		}
+		dispatched++
+		disp := dispatchCycle
+
+		ready := p.regReady[in.Src1]
+		if r2 := p.regReady[in.Src2]; r2 > ready {
+			ready = r2
+		}
+		exec := maxI64(disp+1, ready)
+		if ready > disp+1 {
+			res.StallOperand += ready - (disp + 1)
+		}
+
+		var complete int64
+		switch in.Op {
+		case isa.Load:
+			res.Loads++
+			issue := p.lsSlots.reserve(exec)
+			res.StallLS += issue - exec
+			complete = h.Load(in.Addr, issue)
+			if in.Dst != 0 {
+				p.regReady[in.Dst] = complete
+			}
+		case isa.Store:
+			res.Stores++
+			issue := p.lsSlots.reserve(exec)
+			res.StallLS += issue - exec
+			complete = h.Store(in.Addr, issue)
+		case isa.Branch:
+			res.Branches++
+			complete = exec + Latency(isa.Branch)
+			if pred.PredictUpdate(in.PC, in.Taken) != in.Taken {
+				res.Mispredicts++
+				if nf := complete + p.cfg.MispredictPenalty; nf > fetchReady {
+					fetchReady = nf
+				}
+			}
+		default:
+			complete = exec + Latency(in.Op)
+			if in.Dst != 0 {
+				p.regReady[in.Dst] = complete
+			}
+		}
+
+		// retireAt, with the retire bookkeeping in registers.
+		retire := maxI64(complete, lastRetire)
+		if retire == retireCycle && retiredInCyc >= width {
+			retire++
+		}
+		if retire != retireCycle {
+			retireCycle = retire
+			retiredInCyc = 0
+		}
+		retiredInCyc++
+		lastRetire = retire
+
+		p.ruuRetire[ruuHead] = retire
+		ruuHead++
+		if ruuHead == len(p.ruuRetire) {
+			ruuHead = 0
+		}
+		if isMem {
+			p.lsqRetire[lsqHead] = retire
+			lsqHead++
+			if lsqHead == len(p.lsqRetire) {
+				lsqHead = 0
+			}
+		}
+	}
+	p.dispatchCycle, p.dispatched, p.fetchReady = dispatchCycle, dispatched, fetchReady
+	p.lastRetire, p.retireCycle, p.retiredInCyc = lastRetire, retireCycle, retiredInCyc
+	p.ruuHead, p.lsqHead = ruuHead, lsqHead
 }

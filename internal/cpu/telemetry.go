@@ -105,6 +105,7 @@ func publishMemStats(reg *telemetry.Registry, m mem.Stats) {
 		{"mem.l1.writebacks", m.WriteBacksL1},
 		{"mem.l2.hits", m.L2Hits},
 		{"mem.l2.misses", m.L2Misses},
+		{"mem.l2.merged_misses", m.L2MergedMisses},
 		{"mem.l2.evictions", m.L2Evictions},
 		{"mem.l2.writebacks", m.WriteBacksL2},
 		{"mem.prefetches", m.Prefetches},

@@ -1,0 +1,200 @@
+// The fill table: a flat, open-addressed map from block number to
+// in-flight fill record, replacing the built-in map[uint64]fill that the
+// profile showed dominating Load/Store (hashing, bucket chasing, and the
+// amortized delete sweep together were ~25% of a Figure 3 run).
+//
+// Storage is structure-of-arrays: keys and fill records live in parallel
+// slices so a probe walks the dense 8-byte key array alone — the common
+// miss resolves in one cache line — and touches the 24-byte fill record
+// only on a key match.
+//
+// Entries are never deleted individually, so probing needs no tombstone
+// logic: lookups stop at the first empty slot. Boundedness comes from the
+// same amortized epoch prune the map used — once the table holds
+// fillPruneThreshold live entries, a sweep rebuilds it keeping only fills
+// that have not yet drained (f.done >= now). The trigger count and the
+// survivor predicate are bit-for-bit the ones pruneOutstanding applied to
+// the map, which keeps merged-miss classification — and therefore every
+// golden table — byte-identical.
+package mem
+
+// fillPruneThreshold is the live-entry count that triggers the epoch
+// sweep. It matches the historical map-based prune trigger exactly; the
+// threshold is load-bearing for determinism because a drained-but-unpruned
+// fill can still merge with a later access that carries an earlier
+// timestamp (out-of-order issue times are not monotonic).
+const fillPruneThreshold = 1024
+
+// fillTableCap is the initial slot count. It must be a power of two and
+// comfortably above fillPruneThreshold so the post-prune load factor
+// stays low (sweeps fire at 1024 live entries => <=50% load) and probes
+// stay short.
+const fillTableCap = 2048
+
+// fillHashMul is the 64-bit Fibonacci-hashing multiplier (2^64/phi); the
+// high bits of blk*fillHashMul index the table.
+const fillHashMul = 0x9E3779B97F4A7C15
+
+// fillTable is the open-addressed block->fill store of one cache level.
+// keys[i] holds blk+1 so zero marks an empty slot (block numbers fit in
+// 61 bits — see the packed line-frame encoding — so the +1 cannot wrap);
+// fills[i] is the record for that key.
+type fillTable struct {
+	keys  []uint64
+	fills []fill
+	mask  uint64 // len(keys)-1
+	shift uint   // 64 - log2(len(keys)); index = blk*fillHashMul >> shift
+	count int    // live entries
+	// maxReady is an upper bound on fill.ready over every live entry:
+	// raised on put, recomputed over survivors on sweep. A hit whose data
+	// slot is at or past the watermark cannot merge with any in-flight
+	// fill, so the caller skips the probe entirely — which removes the
+	// table walk from hit-dominated phases where the table holds only
+	// long-drained entries awaiting the next epoch sweep.
+	maxReady int64
+	// scratchK/scratchF hold sweep survivors between epochs; reused so
+	// the steady-state Load/Store path never allocates.
+	scratchK []uint64
+	scratchF []fill
+}
+
+func newFillTable() fillTable {
+	t := fillTable{}
+	t.init(fillTableCap)
+	t.scratchK = make([]uint64, 0, fillPruneThreshold)
+	t.scratchF = make([]fill, 0, fillPruneThreshold)
+	return t
+}
+
+// init sizes the slot arrays (n must be a power of two).
+func (t *fillTable) init(n int) {
+	t.keys = make([]uint64, n)
+	t.fills = make([]fill, n)
+	t.mask = uint64(n - 1)
+	t.shift = 64
+	for ; n > 1; n >>= 1 {
+		t.shift--
+	}
+	t.count = 0
+}
+
+// get returns the fill recorded for blk.
+func (t *fillTable) get(blk uint64) (fill, bool) {
+	key := blk + 1
+	i := (blk * fillHashMul) >> t.shift
+	for {
+		k := t.keys[i]
+		if k == 0 {
+			return fill{}, false
+		}
+		if k == key {
+			return t.fills[i], true
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// getAbove returns the fill for blk only if its critical word arrives
+// after ready — the merged-secondary-miss test shared by the L1 and L2
+// hit paths. The maxReady watermark settles most calls without a probe.
+func (t *fillTable) getAbove(blk uint64, ready int64) (fill, bool) {
+	if t.maxReady <= ready {
+		return fill{}, false
+	}
+	f, ok := t.get(blk)
+	if !ok || f.ready <= ready {
+		return fill{}, false
+	}
+	return f, true
+}
+
+// put inserts or overwrites the fill for blk.
+func (t *fillTable) put(blk uint64, f fill) {
+	// Keep load factor under 3/4 so probe chains stay short. The normal
+	// regime never gets here: the epoch prune caps live entries at ~1024
+	// against 2048 slots. Growth only serves hand-built configs whose
+	// in-flight population legitimately exceeds the prune threshold.
+	if t.count >= len(t.keys)-len(t.keys)/4 {
+		t.grow()
+	}
+	if f.ready > t.maxReady {
+		t.maxReady = f.ready
+	}
+	key := blk + 1
+	i := (blk * fillHashMul) >> t.shift
+	for {
+		k := t.keys[i]
+		if k == 0 {
+			t.keys[i] = key
+			t.fills[i] = f
+			t.count++
+			return
+		}
+		if k == key {
+			t.fills[i] = f
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// prune applies the amortized epoch sweep: a no-op until the table holds
+// fillPruneThreshold live entries, then a rebuild dropping every fill
+// already drained at now. Cost per access is O(1) amortized — the sweep
+// runs at most once per threshold insertions.
+func (t *fillTable) prune(now int64) {
+	if t.count < fillPruneThreshold {
+		return
+	}
+	t.sweep(now)
+}
+
+// sweep rebuilds the table keeping only fills with f.done >= now — the
+// exact survivor rule of the historical map prune. Runs once per epoch,
+// off the per-access fast path.
+//
+//memwall:cold
+func (t *fillTable) sweep(now int64) {
+	sk, sf := t.scratchK[:0], t.scratchF[:0]
+	for i := range t.keys {
+		if t.keys[i] != 0 && t.fills[i].done >= now {
+			sk = append(sk, t.keys[i])
+			sf = append(sf, t.fills[i])
+		}
+	}
+	clear(t.keys)
+	t.count = 0
+	t.maxReady = 0 // restored below from the surviving fills
+	for i := range sk {
+		t.put(sk[i]-1, sf[i])
+	}
+	t.scratchK, t.scratchF = sk[:0], sf[:0]
+}
+
+// grow doubles the slot arrays and rehashes. Only reachable when live
+// entries exceed 3/4 of capacity, which the epoch prune prevents for any
+// validated configuration; kept for hand-built hierarchies with enormous
+// MSHR counts.
+//
+//memwall:cold
+func (t *fillTable) grow() {
+	ok, of := t.keys, t.fills
+	t.init(len(ok) * 2)
+	for i := range ok {
+		if ok[i] != 0 {
+			t.put(ok[i]-1, of[i])
+		}
+	}
+}
+
+// inFlight counts fills still outstanding (done > now) — the attribution
+// sampler's OutstandingMisses column.
+func (t *fillTable) inFlight(now int64) int64 {
+	var n int64
+	for i := range t.keys {
+		if t.keys[i] != 0 && t.fills[i].done > now {
+			n++
+		}
+	}
+	return n
+}

@@ -154,6 +154,11 @@ type Stats struct {
 	L1MergedMisses int64 // secondary misses merged into an outstanding fill
 	L2Hits         int64
 	L2Misses       int64
+	// L2MergedMisses counts L2 lookups satisfied by forwarding a block
+	// still in flight from memory — resident in the tag array but not yet
+	// arrived. Historically this path incremented no counter at all, so
+	// L2 accesses did not sum to L2Hits+L2Misses.
+	L2MergedMisses int64
 	Prefetches     int64
 	// StreamBufHits counts L1 misses served from a stream buffer;
 	// StreamBufPrefetches counts blocks the buffers fetched.
@@ -203,8 +208,25 @@ func (s Stats) MemBusUtilization(totalCycles units.Cycles) float64 {
 type bus struct {
 	cfg      BusConfig
 	infinite bool
+	// wshift/wpow replace the per-transfer division by WidthBytes with a
+	// shift when the width is a power of two (every Table 4 bus is); a
+	// zero-value bus falls back to the division.
+	wshift   uint8
+	wpow     bool
 	nextFree int64
 	busy     int64 // cumulative cycles spent transferring
+}
+
+// newBus builds a bus, precomputing the power-of-two width shift.
+func newBus(cfg BusConfig, infinite bool) *bus {
+	b := &bus{cfg: cfg, infinite: infinite}
+	if w := cfg.WidthBytes; w > 0 && w&(w-1) == 0 {
+		b.wpow = true
+		for ; w > 1; w >>= 1 {
+			b.wshift++
+		}
+	}
+	return b
 }
 
 // transfer schedules moving n bytes at earliest time at. It returns the
@@ -216,11 +238,16 @@ func (b *bus) transfer(at int64, n int) (critical, done int64) {
 	}
 	// New rejects finite buses with WidthBytes < 1; the local clamp keeps
 	// the division provably safe for any bus constructed by hand.
-	width := b.cfg.WidthBytes
-	if width < 1 {
-		width = 1
+	var beats int
+	if b.wpow {
+		beats = (n + (1 << b.wshift) - 1) >> b.wshift
+	} else {
+		width := b.cfg.WidthBytes
+		if width < 1 {
+			width = 1
+		}
+		beats = (n + width - 1) / width
 	}
-	beats := (n + width - 1) / width
 	if beats < 1 {
 		beats = 1
 	}
@@ -234,14 +261,21 @@ func (b *bus) transfer(at int64, n int) (critical, done int64) {
 	return start + int64(b.cfg.Ratio), start + cycles
 }
 
-// line is one frame in a timing-model cache level.
-type line struct {
-	tag     uint64
-	valid   bool
-	dirty   bool
-	prefTag bool // tagged-prefetch bit
-	lastUse int64
-}
+// A cache-line frame is one packed word: the block number shifted left by
+// lineFlagBits with the state bits below it. Eight frames share a hardware
+// cache line, so a tag probe of the simulated L2 — whose scaled tag array
+// far exceeds the host's caches — costs a third of the misses the previous
+// 24-byte struct did. Block numbers must fit in 61 bits, which holds for
+// every constructible workload (addresses sit far below 2^61).
+const (
+	lineValid    uint64 = 1 << 0
+	lineDirty    uint64 = 1 << 1
+	linePrefTag  uint64 = 1 << 2 // tagged-prefetch bit
+	lineFlagBits        = 3
+	// lineStateMask strips the mutable state bits, leaving blk<<3|valid —
+	// a hit is then a single compare against the probe word.
+	lineStateMask = ^uint64(lineDirty | linePrefTag)
+)
 
 // fill records an in-flight block fill.
 type fill struct {
@@ -252,15 +286,25 @@ type fill struct {
 	latReady int64
 }
 
-// level is the tag store + MSHRs of one cache level.
+// level is the tag store + MSHRs of one cache level. The hot state is
+// structure-of-arrays: all line frames live in one flat packed-word slice
+// (set s occupies tags[s*assoc : (s+1)*assoc], set-major), LRU timestamps
+// live in a parallel slice touched only by set-associative levels,
+// in-flight fills live in an open-addressed fillTable (see filltable.go),
+// and the MSHR next-free times form an implicit min-heap so reserving the
+// least-busy register is O(1) peek + O(log MSHRs) update instead of an
+// O(MSHRs) scan.
 type level struct {
-	cfg         LevelConfig
-	sets        [][]line
-	setMask     uint64
-	blkShift    uint
-	mshrBusy    []int64
-	outstanding map[uint64]fill // by block number
-	clock       int64           // LRU timestamp source
+	cfg      LevelConfig
+	tags     []uint64 // nsets x assoc packed frames, set-major
+	lastUse  []int64  // parallel LRU timestamps; nil when assoc == 1
+	assoc    int
+	setMask  uint64
+	blkShift uint
+	mshrBusy []int64 // next-free time per miss register
+	mshrMin  int     // index of the least-busy register
+	fills    fillTable
+	clock    int64 // LRU timestamp source
 }
 
 func newLevel(cfg LevelConfig) *level {
@@ -273,14 +317,15 @@ func newLevel(cfg LevelConfig) *level {
 	}
 	nsets := blocks / assoc
 	l := &level{
-		cfg:         cfg,
-		sets:        make([][]line, nsets),
-		setMask:     uint64(nsets - 1),
-		mshrBusy:    make([]int64, cfg.MSHRs),
-		outstanding: make(map[uint64]fill),
+		cfg:      cfg,
+		tags:     make([]uint64, nsets*assoc),
+		assoc:    assoc,
+		setMask:  uint64(nsets - 1),
+		mshrBusy: make([]int64, cfg.MSHRs),
+		fills:    newFillTable(),
 	}
-	for i := range l.sets {
-		l.sets[i] = make([]line, assoc)
+	if assoc > 1 {
+		l.lastUse = make([]int64, nsets*assoc)
 	}
 	for bs := cfg.BlockSize; bs > 1; bs >>= 1 {
 		l.blkShift++
@@ -290,60 +335,112 @@ func newLevel(cfg LevelConfig) *level {
 
 func (l *level) block(addr uint64) uint64 { return addr >> l.blkShift }
 
-// lookup returns the line holding addr, or nil.
-func (l *level) lookup(addr uint64) *line {
+// dmProbe is the direct-mapped hit test alone, small enough to inline
+// into the Load/Store fast paths. Valid only when l.assoc == 1 (every
+// Table 4 L1); lookup is the general form.
+func (l *level) dmProbe(addr uint64) (int, bool) {
+	blk := addr >> l.blkShift
+	i := int(blk & l.setMask)
+	return i, l.tags[i]&lineStateMask == blk<<lineFlagBits|lineValid
+}
+
+// lookup returns the frame index holding addr. The returned index is valid
+// until the next installVictim on the level; callers mutate line state by
+// flipping flag bits in l.tags[i].
+func (l *level) lookup(addr uint64) (int, bool) {
 	blk := l.block(addr)
-	set := l.sets[blk&l.setMask]
-	for i := range set {
-		if set[i].valid && set[i].tag == blk {
+	want := blk<<lineFlagBits | lineValid
+	if l.assoc == 1 {
+		// Direct-mapped fast path (every machine's L1 in Table 4): one
+		// frame per set, no LRU bookkeeping — lastUse is never compared
+		// in a one-way set, so the clock need not tick. Keeping the
+		// set-associative scan in its own function keeps this path within
+		// the inlining budget, so the per-access call overhead vanishes.
+		i := int(blk & l.setMask)
+		return i, l.tags[i]&lineStateMask == want
+	}
+	return l.lookupAssoc(blk, want)
+}
+
+// lookupAssoc is the set-associative slow path of lookup, updating LRU
+// state on a hit.
+func (l *level) lookupAssoc(blk, want uint64) (int, bool) {
+	base := int(blk&l.setMask) * l.assoc
+	for i := base; i < base+l.assoc; i++ {
+		if l.tags[i]&lineStateMask == want {
 			l.clock++
-			set[i].lastUse = l.clock
-			return &set[i]
+			l.lastUse[i] = l.clock
+			return i, true
 		}
 	}
-	return nil
+	return 0, false
 }
 
 // present reports residency without touching LRU state.
 func (l *level) present(addr uint64) bool {
 	blk := l.block(addr)
-	set := l.sets[blk&l.setMask]
-	for i := range set {
-		if set[i].valid && set[i].tag == blk {
+	want := blk<<lineFlagBits | lineValid
+	if l.assoc == 1 {
+		return l.tags[blk&l.setMask]&lineStateMask == want
+	}
+	base := int(blk&l.setMask) * l.assoc
+	for i := base; i < base+l.assoc; i++ {
+		if l.tags[i]&lineStateMask == want {
 			return true
 		}
 	}
 	return false
 }
 
-// install allocates a line for addr. It reports whether a valid line was
-// displaced, whether that victim was dirty, and the victim's block number.
+// installVictim allocates a line for addr. It reports whether a valid line
+// was displaced, whether that victim was dirty, and the victim's block
+// number.
 func (l *level) installVictim(addr uint64, dirty, prefTag bool) (hadVictim, victimDirty bool, victimBlock uint64) {
 	blk := l.block(addr)
-	set := l.sets[blk&l.setMask]
-	w := 0
-	for i := range set {
-		if !set[i].valid {
+	nw := blk<<lineFlagBits | lineValid
+	if dirty {
+		nw |= lineDirty
+	}
+	if prefTag {
+		nw |= linePrefTag
+	}
+	if l.assoc == 1 {
+		i := blk & l.setMask
+		old := l.tags[i]
+		if old&lineValid != 0 {
+			hadVictim = true
+			victimDirty = old&lineDirty != 0
+			victimBlock = old >> lineFlagBits
+		}
+		l.tags[i] = nw
+		return hadVictim, victimDirty, victimBlock
+	}
+	base := int(blk&l.setMask) * l.assoc
+	w := base
+	for i := base; i < base+l.assoc; i++ {
+		if l.tags[i]&lineValid == 0 {
 			w = i
 			goto place
 		}
 	}
-	w = 0
-	for i := 1; i < len(set); i++ {
-		if set[i].lastUse < set[w].lastUse {
+	w = base
+	for i := base + 1; i < base+l.assoc; i++ {
+		if l.lastUse[i] < l.lastUse[w] {
 			w = i
 		}
 	}
 	hadVictim = true
-	victimDirty = set[w].dirty
-	victimBlock = set[w].tag
+	victimDirty = l.tags[w]&lineDirty != 0
+	victimBlock = l.tags[w] >> lineFlagBits
 place:
 	l.clock++
-	set[w] = line{tag: blk, valid: true, dirty: dirty, prefTag: prefTag, lastUse: l.clock}
+	l.tags[w] = nw
+	l.lastUse[w] = l.clock
 	return hadVictim, victimDirty, victimBlock
 }
 
-// occupancy counts the MSHRs still busy at time t.
+// occupancy counts the MSHRs still busy at time t. The heap is a
+// permutation of the register file, so the count is order-independent.
 func (l *level) occupancy(t int64) int {
 	n := 0
 	for _, busy := range l.mshrBusy {
@@ -355,35 +452,65 @@ func (l *level) occupancy(t int64) int {
 }
 
 // acquireMSHR reserves a miss register at earliest time t, returning the
-// actual start time (delayed if all MSHRs are busy) and the slot index.
-func (l *level) acquireMSHR(t int64) (start int64, slot int) {
-	best := 0
-	for i := 1; i < len(l.mshrBusy); i++ {
-		if l.mshrBusy[i] < l.mshrBusy[best] {
-			best = i
-		}
+// actual start time (delayed if all MSHRs are busy). The least-busy
+// register's index is tracked incrementally — an O(1) peek. The caller
+// must follow with commitMSHR to record the register's new next-free
+// time; nothing observes the registers between the two calls.
+func (l *level) acquireMSHR(t int64) int64 {
+	if m := l.mshrBusy[l.mshrMin]; m > t {
+		return m
 	}
-	start = t
-	if l.mshrBusy[best] > start {
-		start = l.mshrBusy[best]
-	}
-	return start, best
+	return t
 }
 
-// pruneOutstanding drops fills long finished to bound map growth. The
-// map iteration is amortized: it only runs once the map holds 1024
-// entries, and each pass deletes everything already drained, so its cost
-// per access is O(1).
-func (l *level) pruneOutstanding(now int64) {
-	if len(l.outstanding) < 1024 {
+// commitMSHR occupies the register reserved by acquireMSHR until done and
+// rescans for the new least-busy register. The scan compiles to
+// conditional moves, beating a heap's data-dependent sift branches; the
+// eight-register case (every lockup-free Table 4 machine) uses a pairwise
+// tree so the moves overlap instead of forming a serial chain. Only the
+// minimum and the multiset of busy times are observable (acquireMSHR and
+// occupancy), so overwriting "the tracked min slot" is timing-equivalent
+// to the historical argmin scan.
+func (l *level) commitMSHR(done int64) {
+	b := l.mshrBusy
+	b[l.mshrMin] = done
+	if len(b) == 8 {
+		b = b[:8:8]
+		i0, v0 := 0, b[0]
+		if b[1] < v0 {
+			i0, v0 = 1, b[1]
+		}
+		i1, v1 := 2, b[2]
+		if b[3] < v1 {
+			i1, v1 = 3, b[3]
+		}
+		i2, v2 := 4, b[4]
+		if b[5] < v2 {
+			i2, v2 = 5, b[5]
+		}
+		i3, v3 := 6, b[6]
+		if b[7] < v3 {
+			i3, v3 = 7, b[7]
+		}
+		if v1 < v0 {
+			i0, v0 = i1, v1
+		}
+		if v3 < v2 {
+			i2, v2 = i3, v3
+		}
+		if v2 < v0 {
+			i0 = i2
+		}
+		l.mshrMin = i0
 		return
 	}
-	//memlint:allow hotlint amortized sweep, gated on >=1024 entries
-	for b, f := range l.outstanding {
-		if f.done < now {
-			delete(l.outstanding, b)
+	mi, mv := 0, b[0]
+	for i := 1; i < len(b); i++ {
+		if b[i] < mv {
+			mv, mi = b[i], i
 		}
 	}
+	l.mshrMin = mi
 }
 
 // Hierarchy is the timing model used by the processor cores.
@@ -439,8 +566,8 @@ func New(cfg Config) (*Hierarchy, error) {
 		cfg:  cfg,
 		l1:   newLevel(cfg.L1),
 		l2:   newLevel(cfg.L2),
-		l1l2: &bus{cfg: cfg.L1L2Bus, infinite: inf || cfg.InfiniteL1L2Bus},
-		mem:  &bus{cfg: cfg.MemBus, infinite: inf || cfg.InfiniteMemBus},
+		l1l2: newBus(cfg.L1L2Bus, inf || cfg.InfiniteL1L2Bus),
+		mem:  newBus(cfg.MemBus, inf || cfg.InfiniteMemBus),
 	}
 	if cfg.StreamBuffers.Buffers > 0 {
 		h.sbufs = newSBState(cfg.StreamBuffers)
@@ -559,13 +686,7 @@ func (h *Hierarchy) FillAttrSample(s *attr.Sample, now int64) {
 	s.L1L2BusBusy = h.l1l2.busy
 	s.MemBusBusy = h.mem.busy
 	s.MSHROccupancy = int64(h.l1.occupancy(now))
-	var out int64
-	for _, f := range h.l1.outstanding {
-		if f.done > now {
-			out++
-		}
-	}
-	s.OutstandingMisses = out
+	s.OutstandingMisses = h.l1.fills.inFlight(now)
 }
 
 // l2Access services an L1 miss for the L1 block containing addr, starting
@@ -573,18 +694,19 @@ func (h *Hierarchy) FillAttrSample(s *attr.Sample, now int64) {
 // available to L1 and the cycle the L1 block transfer completes.
 func (h *Hierarchy) l2Access(addr uint64, t int64) (critical, done int64) {
 	l2 := h.l2
-	l2.pruneOutstanding(t)
+	l2.fills.prune(t)
 	blk := l2.block(addr)
-	if l2.lookup(addr) != nil {
+	if _, ok := l2.lookup(addr); ok {
 		dataAt := t + h.cfg.L2.AccessCycles
 		lat := dataAt
-		if f, ok := l2.outstanding[blk]; ok && f.ready > dataAt {
+		if f, ok := l2.fills.getAbove(blk, dataAt); ok {
 			// The block is still in flight from memory; forward when
 			// its critical word arrives.
 			dataAt = f.ready
 			if f.latReady > lat {
 				lat = f.latReady
 			}
+			h.stats.L2MergedMisses++
 		} else {
 			h.stats.L2Hits++
 		}
@@ -600,11 +722,11 @@ func (h *Hierarchy) l2Access(addr uint64, t int64) (critical, done int64) {
 	if h.mshrOccL2 != nil {
 		h.mshrOccL2.Observe(float64(l2.occupancy(t + h.cfg.L2.AccessCycles)))
 	}
-	start, slot := l2.acquireMSHR(t + h.cfg.L2.AccessCycles)
+	start := l2.acquireMSHR(t + h.cfg.L2.AccessCycles)
 	memData := h.bankAccess(addr, start)
 	critMem, doneMem := h.mem.transfer(memData, h.cfg.L2.BlockSize)
 	h.stats.MemTrafficBytes += units.Bytes(h.cfg.L2.BlockSize)
-	l2.mshrBusy[slot] = doneMem
+	l2.commitMSHR(doneMem)
 	// Latency-only estimate: pure access times, no MSHR wait, no bank
 	// conflict, no bus transfer — the T_I path for this access. MSHR and
 	// bank queueing are contention, which attribution charges to
@@ -613,7 +735,7 @@ func (h *Hierarchy) l2Access(addr uint64, t int64) (critical, done int64) {
 	if h.cfg.Attr {
 		h.lastLat = latCrit
 	}
-	l2.outstanding[blk] = fill{ready: critMem, done: doneMem, latReady: latCrit}
+	l2.fills.put(blk, fill{ready: critMem, done: doneMem, latReady: latCrit})
 	if had, vd, _ := l2.installVictim(addr, false, false); had {
 		h.stats.L2Evictions++
 		if vd {
@@ -638,7 +760,7 @@ func (h *Hierarchy) miss(addr uint64, t int64, dirty, prefTag bool) int64 {
 	if h.mshrOccL1 != nil {
 		h.mshrOccL1.Observe(float64(l1.occupancy(t)))
 	}
-	start, slot := l1.acquireMSHR(t)
+	start := l1.acquireMSHR(t)
 	crit, done := h.l2Access(addr, start)
 	if h.cfg.Attr {
 		// l2Access measured its latency-only estimate from start; shift
@@ -646,8 +768,8 @@ func (h *Hierarchy) miss(addr uint64, t int64, dirty, prefTag bool) int64 {
 		// contention, not latency.
 		h.lastLat -= start - t
 	}
-	l1.mshrBusy[slot] = done
-	l1.outstanding[l1.block(addr)] = fill{ready: crit, done: done, latReady: h.lastLat}
+	l1.commitMSHR(done)
+	l1.fills.put(l1.block(addr), fill{ready: crit, done: done, latReady: h.lastLat})
 	had, vd, vblk := l1.installVictim(addr, dirty, prefTag)
 	if had {
 		h.stats.L1Evictions++
@@ -672,8 +794,8 @@ func (h *Hierarchy) miss(addr uint64, t int64, dirty, prefTag bool) int64 {
 // L2 no longer holds it, the block continues to memory.
 func (h *Hierarchy) writebackToL2(l1Block uint64) {
 	addr := l1Block << h.l1.blkShift
-	if ln := h.l2.lookup(addr); ln != nil {
-		ln.dirty = true
+	if i, ok := h.l2.lookup(addr); ok {
+		h.l2.tags[i] |= lineDirty
 		return
 	}
 	h.mem.transfer(h.mem.nextFree, h.cfg.L1.BlockSize)
@@ -688,7 +810,7 @@ func (h *Hierarchy) prefetch(addr uint64, t int64) {
 	if l1.present(next) {
 		return
 	}
-	if f, ok := l1.outstanding[l1.block(next)]; ok && f.done > t {
+	if f, ok := l1.fills.get(l1.block(next)); ok && f.done > t {
 		return
 	}
 	h.stats.Prefetches++
@@ -716,10 +838,17 @@ func (h *Hierarchy) Load(addr uint64, now int64) int64 {
 		return now + c
 	}
 	l1 := h.l1
-	l1.pruneOutstanding(now)
-	if ln := l1.lookup(addr); ln != nil {
+	l1.fills.prune(now)
+	var i int
+	var hit bool
+	if l1.assoc == 1 {
+		i, hit = l1.dmProbe(addr)
+	} else {
+		i, hit = l1.lookup(addr)
+	}
+	if hit {
 		ready := now + h.cfg.L1.AccessCycles
-		if f, ok := l1.outstanding[l1.block(addr)]; ok && f.ready > ready {
+		if f, ok := l1.fills.getAbove(l1.block(addr), ready); ok {
 			// Secondary miss: merge with the in-flight fill (the paper
 			// notes a lockup-free cache "may combine two misses with
 			// one response from memory").
@@ -737,8 +866,8 @@ func (h *Hierarchy) Load(addr uint64, now int64) int64 {
 		} else {
 			h.stats.L1Hits++
 		}
-		if h.cfg.TaggedPrefetch && ln.prefTag {
-			ln.prefTag = false
+		if h.cfg.TaggedPrefetch && l1.tags[i]&linePrefTag != 0 {
+			l1.tags[i] &^= linePrefTag
 			h.prefetch(addr, now)
 		}
 		return ready
@@ -781,16 +910,30 @@ func (h *Hierarchy) Store(addr uint64, now int64) int64 {
 		return now + 1
 	}
 	l1 := h.l1
-	l1.pruneOutstanding(now)
-	if ln := l1.lookup(addr); ln != nil {
-		if f, ok := l1.outstanding[l1.block(addr)]; ok && f.ready > now {
+	l1.fills.prune(now)
+	var i int
+	var hit bool
+	if l1.assoc == 1 {
+		i, hit = l1.dmProbe(addr)
+	} else {
+		i, hit = l1.lookup(addr)
+	}
+	if hit {
+		// Same in-flight window as Load: the store's data slot is ready at
+		// now + L1 access time, so a fill whose critical word lands later
+		// than that is a merged (secondary) miss. Store historically
+		// compared f.ready against bare now, classifying the tail of the
+		// window as plain hits — timing was unaffected (the infinite write
+		// buffer accepts every store at now+1) but the hit/merge split
+		// disagreed between the two ops.
+		if _, ok := l1.fills.getAbove(l1.block(addr), now+h.cfg.L1.AccessCycles); ok {
 			h.stats.L1MergedMisses++
 		} else {
 			h.stats.L1Hits++
 		}
-		ln.dirty = true
-		if h.cfg.TaggedPrefetch && ln.prefTag {
-			ln.prefTag = false
+		l1.tags[i] |= lineDirty
+		if h.cfg.TaggedPrefetch && l1.tags[i]&linePrefTag != 0 {
+			l1.tags[i] &^= linePrefTag
 			h.prefetch(addr, now)
 		}
 		return now + 1
@@ -800,8 +943,8 @@ func (h *Hierarchy) Store(addr uint64, now int64) int64 {
 		return now + 1
 	}
 	if _, ok := h.streamLookup(addr, now); ok {
-		if ln := l1.lookup(addr); ln != nil {
-			ln.dirty = true
+		if i, hit := l1.lookup(addr); hit {
+			l1.tags[i] |= lineDirty
 		}
 		return now + 1
 	}

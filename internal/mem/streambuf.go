@@ -36,17 +36,21 @@ type streamBuffer struct {
 	lastUse int64
 }
 
-// sbState holds all stream buffers of a hierarchy.
+// sbState holds all stream buffers of a hierarchy. heads mirrors each
+// buffer's head block as block+1 (0 = empty or invalid, the fill table's
+// sentinel idiom), so the probe every L1 miss makes scans one dense word
+// array instead of chasing per-buffer FIFO slices.
 type sbState struct {
-	cfg  StreamBufferConfig
-	bufs []streamBuffer
+	cfg   StreamBufferConfig
+	bufs  []streamBuffer
+	heads []uint64
 }
 
 func newSBState(cfg StreamBufferConfig) *sbState {
 	if cfg.Depth <= 0 {
 		cfg.Depth = 4
 	}
-	s := &sbState{cfg: cfg, bufs: make([]streamBuffer, cfg.Buffers)}
+	s := &sbState{cfg: cfg, bufs: make([]streamBuffer, cfg.Buffers), heads: make([]uint64, cfg.Buffers)}
 	// Preallocate every buffer's FIFO storage. A stream never holds more
 	// than Depth entries (allocation fills Depth, a hit consumes one and
 	// prefetches one), so with the head consumed by copy-down rather than
@@ -58,16 +62,27 @@ func newSBState(cfg StreamBufferConfig) *sbState {
 	return s
 }
 
-// lookup scans the buffer heads for block b and returns the buffer index,
-// or -1.
+// lookup scans the dense head array for block b and returns the buffer
+// index, or -1.
 func (s *sbState) lookup(b uint64) int {
-	for i := range s.bufs {
-		buf := &s.bufs[i]
-		if buf.valid && len(buf.entries) > 0 && buf.entries[0].block == b {
+	want := b + 1
+	for i, h := range s.heads {
+		if h == want {
 			return i
 		}
 	}
 	return -1
+}
+
+// syncHead refreshes the mirrored head word of buffer i after its FIFO
+// changed.
+func (s *sbState) syncHead(i int) {
+	buf := &s.bufs[i]
+	if buf.valid && len(buf.entries) > 0 {
+		s.heads[i] = buf.entries[0].block + 1
+	} else {
+		s.heads[i] = 0
+	}
 }
 
 // lru returns the least-recently-used buffer index.
@@ -120,16 +135,19 @@ func (h *Hierarchy) streamLookup(addr uint64, t int64) (ready int64, ok bool) {
 		// Advance the stream: prefetch one block past the current tail.
 		next := b + uint64(len(buf.entries)) + 1
 		h.sbPrefetch(buf, next, t)
+		sb.syncHead(i)
 		return ready, true
 	}
 	// Allocate a new stream on the LRU buffer, running ahead of the miss.
-	buf := &sb.bufs[sb.lru()]
+	li := sb.lru()
+	buf := &sb.bufs[li]
 	buf.valid = true
 	buf.lastUse = t
 	buf.entries = buf.entries[:0]
 	for d := 1; d <= sb.cfg.Depth; d++ {
 		h.sbPrefetch(buf, b+uint64(d), t)
 	}
+	sb.syncHead(li)
 	return 0, false
 }
 

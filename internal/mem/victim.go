@@ -18,56 +18,65 @@ type VictimCacheConfig struct {
 	SwapCycles int64
 }
 
-// victimEntry is one held block.
-type victimEntry struct {
-	block   uint64
-	dirty   bool
-	valid   bool
-	lastUse int64
-}
+// Each held block is one packed word, block<<2 | dirty<<1 | valid — the
+// same frame encoding the cache levels use (block numbers fit in 61 bits,
+// see the packed line-frame comment in mem.go). The fully-associative
+// probe on every L1 miss then scans a dense word array (1-5 entries, one
+// cache line) instead of striding over padded structs.
+const (
+	victimValid = 1
+	victimDirty = 2
+)
 
-// victimCache is the buffer state.
+// victimCache is the buffer state: words[i] is the packed block frame of
+// slot i, lastUse[i] its LRU stamp.
 type victimCache struct {
 	cfg     VictimCacheConfig
-	entries []victimEntry
+	words   []uint64
+	lastUse []int64
 }
 
 func newVictimCache(cfg VictimCacheConfig) *victimCache {
 	if cfg.SwapCycles <= 0 {
 		cfg.SwapCycles = 1
 	}
-	return &victimCache{cfg: cfg, entries: make([]victimEntry, cfg.Entries)}
+	return &victimCache{cfg: cfg, words: make([]uint64, cfg.Entries), lastUse: make([]int64, cfg.Entries)}
 }
 
-// lookup removes and returns the entry holding block, if present.
-func (v *victimCache) lookup(block uint64) (victimEntry, bool) {
-	for i := range v.entries {
-		e := &v.entries[i]
-		if e.valid && e.block == block {
-			out := *e
-			e.valid = false
-			return out, true
+// lookup removes the entry holding block, reporting whether it was dirty.
+func (v *victimCache) lookup(block uint64) (dirty, ok bool) {
+	want := block<<2 | victimValid
+	for i, w := range v.words {
+		if w&^uint64(victimDirty) == want {
+			v.words[i] = 0
+			return w&victimDirty != 0, true
 		}
 	}
-	return victimEntry{}, false
+	return false, false
 }
 
 // insert places an evicted block in the buffer, returning the displaced
-// entry (valid=true if it was occupied and dirty data must go below).
-func (v *victimCache) insert(block uint64, dirty bool, now int64) (victimEntry, bool) {
+// block (spill=true if the slot held valid dirty data that must go below;
+// clean displacements need no traffic and report spill=false).
+func (v *victimCache) insert(block uint64, dirty bool, now int64) (spillBlock uint64, spill bool) {
 	slot := 0
-	for i := range v.entries {
-		if !v.entries[i].valid {
+	for i := range v.words {
+		if v.words[i]&victimValid == 0 {
 			slot = i
 			break
 		}
-		if v.entries[i].lastUse < v.entries[slot].lastUse {
+		if v.lastUse[i] < v.lastUse[slot] {
 			slot = i
 		}
 	}
-	old := v.entries[slot]
-	v.entries[slot] = victimEntry{block: block, dirty: dirty, valid: true, lastUse: now}
-	return old, old.valid
+	old := v.words[slot]
+	w := block<<2 | victimValid
+	if dirty {
+		w |= victimDirty
+	}
+	v.words[slot] = w
+	v.lastUse[slot] = now
+	return old >> 2, old&(victimValid|victimDirty) == victimValid|victimDirty
 }
 
 // victimLookup consults the victim cache for an L1 miss to addr at time t.
@@ -80,21 +89,21 @@ func (h *Hierarchy) victimLookup(addr uint64, t int64, makeDirty bool) (ready in
 		return 0, false
 	}
 	blk := h.l1.block(addr)
-	e, hit := vc.lookup(blk)
+	dirty, hit := vc.lookup(blk)
 	if !hit {
 		return 0, false
 	}
 	h.stats.VictimHits++
 	// Swap: install the recovered block; its displaced L1 line (dirty or
 	// clean) enters the buffer in its place.
-	if had, vd, vblk := h.l1.installVictim(addr, e.dirty || makeDirty, false); had {
+	if had, vd, vblk := h.l1.installVictim(addr, dirty || makeDirty, false); had {
 		h.stats.L1Evictions++
-		if old, spill := vc.insert(vblk, vd, t); spill && old.dirty {
+		if old, spill := vc.insert(vblk, vd, t); spill {
 			// The buffer itself evicted dirty data: write it back below.
 			h.l1l2.transfer(t, h.cfg.L1.BlockSize)
 			h.stats.L1L2TrafficBytes += units.Bytes(h.cfg.L1.BlockSize)
 			h.stats.WriteBacksL1++
-			h.writebackToL2(old.block)
+			h.writebackToL2(old)
 		}
 	}
 	return t + vc.cfg.SwapCycles, true
@@ -104,10 +113,10 @@ func (h *Hierarchy) victimLookup(addr uint64, t int64, makeDirty bool) (ready in
 // miss path instead of an immediate write-back).
 func (h *Hierarchy) victimInsert(block uint64, dirty bool, t int64) {
 	vc := h.victim
-	if old, spill := vc.insert(block, dirty, t); spill && old.dirty {
+	if old, spill := vc.insert(block, dirty, t); spill {
 		h.l1l2.transfer(t, h.cfg.L1.BlockSize)
 		h.stats.L1L2TrafficBytes += units.Bytes(h.cfg.L1.BlockSize)
 		h.stats.WriteBacksL1++
-		h.writebackToL2(old.block)
+		h.writebackToL2(old)
 	}
 }

@@ -138,13 +138,19 @@ func (s Stats) TrafficBytes() units.Bytes {
 	return s.FetchBytes + s.BypassBytes + s.WriteBackBytes
 }
 
-// entry is the per-block residency state, indexed by interned block ID.
-// heapPos is the block's max-heap position plus one, so the zero value
-// (obtained for free from make's memclr) means "not resident".
-type entry struct {
-	heapPos int32
-	dirty   bool
-}
+// Per-block residency state is one packed uint32 word per interned block
+// ID: pos<<1 | dirty, where pos is the block's max-heap position plus one.
+// The zero word (obtained for free from make's memclr) means "not
+// resident". Packing halves the table against the padded struct it
+// replaced — the table is touched once per reference, and traces intern
+// millions of blocks — and mirrors the packed line-frame words of
+// internal/mem. Heap positions are bounded by the interned-block count,
+// which fits int32, so pos<<1 cannot overflow the word.
+const entryDirty = 1
+
+func entryPos(e uint32) int { return int(e >> 1) }
+
+func packEntry(pos int, dirty uint32) uint32 { return uint32(pos)<<1 | dirty }
 
 // heapElem is one resident block in the eviction heap. The next-use key
 // lives inline so heap compares and swaps touch one contiguous array —
@@ -166,8 +172,8 @@ type MTC struct {
 	fut *Future
 
 	// entries is indexed by interned block ID; a block is resident iff its
-	// heapPos is non-zero.
-	entries []entry
+	// packed position field is non-zero.
+	entries []uint32
 	heap    []heapElem // max-heap on nextUse
 
 	stats Stats
@@ -218,7 +224,7 @@ func NewWithFuture(cfg Config, f *Future) (*MTC, error) {
 		cfg:      cfg,
 		capacity: capacity,
 		fut:      f,
-		entries:  make([]entry, f.numBlocks),
+		entries:  make([]uint32, f.numBlocks),
 		heap:     make([]heapElem, 0, heapCap),
 	}, nil
 }
@@ -244,7 +250,7 @@ func (m *MTC) heapLess(i, j int) bool {
 		return a.nextUse > b.nextUse
 	}
 	if m.cfg.PreferCleanVictims {
-		ad, bd := m.entries[a.id].dirty, m.entries[b.id].dirty
+		ad, bd := m.entries[a.id]&entryDirty != 0, m.entries[b.id]&entryDirty != 0
 		if ad != bd {
 			// Prefer evicting the clean block on a tie: rank it "larger".
 			return !ad && bd
@@ -255,8 +261,8 @@ func (m *MTC) heapLess(i, j int) bool {
 
 func (m *MTC) heapSwap(i, j int) {
 	m.heap[i], m.heap[j] = m.heap[j], m.heap[i]
-	m.entries[m.heap[i].id].heapPos = int32(i) + 1
-	m.entries[m.heap[j].id].heapPos = int32(j) + 1
+	m.entries[m.heap[i].id] = packEntry(i+1, m.entries[m.heap[i].id]&entryDirty)
+	m.entries[m.heap[j].id] = packEntry(j+1, m.entries[m.heap[j].id]&entryDirty)
 }
 
 func (m *MTC) heapUp(i int) {
@@ -297,14 +303,14 @@ func (m *MTC) heapPush(id int32, nextUse int64) {
 	i := len(m.heap)
 	m.heap = m.heap[: i+1 : cap(m.heap)]
 	m.heap[i] = heapElem{nextUse: nextUse, id: id}
-	m.entries[id].heapPos = int32(i) + 1
+	m.entries[id] = packEntry(i+1, m.entries[id]&entryDirty)
 	m.heapUp(i)
 }
 
 func (m *MTC) heapFix(i int) {
 	id := m.heap[i].id
 	m.heapUp(i)
-	if int(m.entries[id].heapPos)-1 == i {
+	if entryPos(m.entries[id])-1 == i {
 		m.heapDown(i)
 	}
 }
@@ -320,20 +326,21 @@ func (m *MTC) heapRemove(i int) {
 }
 
 func (m *MTC) evict(id int32, flush bool) {
-	e := &m.entries[id]
-	if e.dirty {
+	e := m.entries[id]
+	if e&entryDirty != 0 {
 		m.stats.WriteBackBytes += units.Bytes(m.cfg.BlockSize)
 		if flush {
 			m.stats.FlushWriteBacks++
 		}
 	}
-	m.heapRemove(int(e.heapPos) - 1)
-	e.heapPos = 0
-	e.dirty = false
+	m.heapRemove(entryPos(e) - 1)
+	m.entries[id] = 0
 }
 
 func (m *MTC) allocate(id int32, nextUse int64, dirty bool, fetch bool) {
-	m.entries[id].dirty = dirty
+	if dirty {
+		m.entries[id] = entryDirty // position filled in by heapPush
+	}
 	m.heapPush(id, nextUse)
 	if fetch {
 		m.stats.Fetches++
@@ -354,12 +361,12 @@ func (m *MTC) access(isWrite bool, t int) {
 	id := m.fut.blockOf[t]
 	nextUse := m.fut.nextUse(t)
 
-	if e := &m.entries[id]; e.heapPos != 0 {
+	if e := m.entries[id]; e>>1 != 0 {
 		m.stats.Hits++
-		i := int(e.heapPos) - 1
+		i := entryPos(e) - 1
 		m.heap[i].nextUse = nextUse
 		if isWrite {
-			e.dirty = true
+			m.entries[id] = e | entryDirty
 		}
 		m.heapFix(i)
 		return
