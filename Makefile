@@ -17,22 +17,24 @@ bench:
 
 # Machine-readable before/after benchmark artifact. Runs the paper-artifact
 # benchmarks that the trace corpus accelerates (plus the corpus-neutral
-# Figure 3 pair) and converts the output into BENCH_PR8.json: the
-# *NoCorpus/*Corpus pairs become before/after rows with their speedups.
+# Figure 3 pair) and the analytical-twin cost pair, and converts the
+# output into BENCH_PR9.json: the *NoCorpus/*Corpus and *Sim/*Twin pairs
+# become before/after rows with their speedups (Fig3Point records the
+# twin's per-point cost reduction over the full simulator).
 # The binary is built with the committed CPU profile (default.pgo —
 # `go test` does not pick it up implicitly, the flag is required), each
 # benchmark runs -count 3, and benchjson keeps the per-benchmark minimum,
 # so one noisy repeat on a shared host cannot fake a regression. The
-# conversion also checks trends against the committed BENCH_PR7.json
+# conversion also checks trends against the committed BENCH_PR8.json
 # baseline (trend table on stderr) and fails past benchjson's default
 # 1.25x gate. CI uploads the file as a build artifact. The intermediate
 # file keeps a benchjson failure from being masked by a pipeline's exit
 # status.
 bench-json:
-	$(GO) test -run '^$$' -bench 'Table7|Figure3|MTC' -benchtime 5x -count 3 -pgo=default.pgo . > bench_raw.txt
-	$(GO) run ./cmd/benchjson -baseline BENCH_PR7.json < bench_raw.txt > BENCH_PR8.json
+	$(GO) test -run '^$$' -bench 'Table7|Figure3|MTC|Fig3Point' -benchtime 5x -count 3 -pgo=default.pgo . > bench_raw.txt
+	$(GO) run ./cmd/benchjson -baseline BENCH_PR8.json < bench_raw.txt > BENCH_PR9.json
 	@rm -f bench_raw.txt
-	@cat BENCH_PR8.json
+	@cat BENCH_PR9.json
 
 vet:
 	$(GO) vet ./...

@@ -1,7 +1,9 @@
 // Command benchjson converts `go test -bench` text output (read from
 // stdin) into a stable JSON artifact. Benchmarks named <Grid>NoCorpus and
 // <Grid>Corpus are paired into before/after rows with their speedup, so
-// the corpus optimisation's effect is recorded as data, not prose:
+// the corpus optimisation's effect is recorded as data, not prose; the
+// <Grid>Sim and <Grid>Twin suffixes pair the same way for the analytical
+// twin's per-point cost against the full simulator:
 //
 //	go test -run '^$' -bench 'Table7|Figure3|MTC' -benchtime 3x . | benchjson > BENCH_PR4.json
 //
@@ -108,26 +110,9 @@ func run(in io.Reader, baseline string, maxRegress float64) error {
 		return fmt.Errorf("no benchmark lines on stdin")
 	}
 
-	art := Artifact{Pairs: []Pair{}}
+	art := Artifact{Pairs: assemblePairs(order, byName)}
 	for _, name := range order {
 		art.Results = append(art.Results, byName[name])
-	}
-	for _, name := range order {
-		// Pair on the Corpus member so each grid appears once.
-		if !strings.HasSuffix(name, "Corpus") || strings.HasSuffix(name, "NoCorpus") {
-			continue
-		}
-		grid := strings.TrimSuffix(name, "Corpus")
-		before, ok := byName[grid+"NoCorpus"]
-		if !ok {
-			continue
-		}
-		after := byName[name]
-		p := Pair{Grid: grid, BeforeNsPerOp: before.NsPerOp, AfterNsPerOp: after.NsPerOp}
-		if after.NsPerOp > 0 {
-			p.Speedup = before.NsPerOp / after.NsPerOp
-		}
-		art.Pairs = append(art.Pairs, p)
 	}
 
 	enc := json.NewEncoder(os.Stdout)
@@ -139,6 +124,37 @@ func run(in io.Reader, baseline string, maxRegress float64) error {
 		return checkBaseline(os.Stderr, art, baseline, maxRegress)
 	}
 	return nil
+}
+
+// assemblePairs builds the before/after rows from the two suffix
+// families: <Grid>NoCorpus/<Grid>Corpus (the trace-corpus optimisation)
+// and <Grid>Sim/<Grid>Twin (the analytical twin vs. the full
+// simulator). Pairing keys on the after member, so each grid appears at
+// most once per family, in first-seen order.
+func assemblePairs(order []string, byName map[string]*Result) []Pair {
+	pairs := []Pair{}
+	add := func(grid string, before, after *Result) {
+		p := Pair{Grid: grid, BeforeNsPerOp: before.NsPerOp, AfterNsPerOp: after.NsPerOp}
+		if after.NsPerOp > 0 {
+			p.Speedup = before.NsPerOp / after.NsPerOp
+		}
+		pairs = append(pairs, p)
+	}
+	for _, name := range order {
+		switch {
+		case strings.HasSuffix(name, "Corpus") && !strings.HasSuffix(name, "NoCorpus"):
+			grid := strings.TrimSuffix(name, "Corpus")
+			if before, ok := byName[grid+"NoCorpus"]; ok {
+				add(grid, before, byName[name])
+			}
+		case strings.HasSuffix(name, "Twin"):
+			grid := strings.TrimSuffix(name, "Twin")
+			if before, ok := byName[grid+"Sim"]; ok {
+				add(grid, before, byName[name])
+			}
+		}
+	}
+	return pairs
 }
 
 // checkBaseline compares art against the artifact at path, writes a

@@ -95,3 +95,25 @@ PASS
 		t.Errorf("min-of-3 ns/op = %v, want 1e9 (the fastest repeat)", got)
 	}
 }
+
+func TestAssemblePairs(t *testing.T) {
+	byName := map[string]*Result{
+		"Table7GridNoCorpus": {Name: "Table7GridNoCorpus", NsPerOp: 800},
+		"Table7GridCorpus":   {Name: "Table7GridCorpus", NsPerOp: 200},
+		"Fig3PointSim":       {Name: "Fig3PointSim", NsPerOp: 5e8},
+		"Fig3PointTwin":      {Name: "Fig3PointTwin", NsPerOp: 250},
+		"Lonely":             {Name: "Lonely", NsPerOp: 7},
+		"OrphanTwin":         {Name: "OrphanTwin", NsPerOp: 9}, // no OrphanSim: skipped
+	}
+	order := []string{"Table7GridNoCorpus", "Table7GridCorpus", "Fig3PointSim", "Fig3PointTwin", "Lonely", "OrphanTwin"}
+	pairs := assemblePairs(order, byName)
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %+v, want the Corpus pair and the Sim/Twin pair", pairs)
+	}
+	if p := pairs[0]; p.Grid != "Table7Grid" || p.Speedup != 4 {
+		t.Errorf("corpus pair = %+v, want Table7Grid at 4x", p)
+	}
+	if p := pairs[1]; p.Grid != "Fig3Point" || p.BeforeNsPerOp != 5e8 || p.AfterNsPerOp != 250 || p.Speedup != 2e6 {
+		t.Errorf("twin pair = %+v, want Fig3Point at 2e6x", p)
+	}
+}

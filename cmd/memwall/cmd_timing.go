@@ -4,6 +4,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"strings"
@@ -13,6 +14,7 @@ import (
 	"memwall/internal/runner"
 	"memwall/internal/tablefmt"
 	"memwall/internal/telemetry"
+	"memwall/internal/twin"
 	"memwall/internal/workload"
 )
 
@@ -35,19 +37,10 @@ func parseSuite(s string) (workload.Suite, error) {
 
 // timingBenchmarks returns the Figure 3 benchmark list for a suite. The
 // paper's SPEC92 panel omits dnasa2 (it appears only in the trace-driven
-// traffic studies).
+// traffic studies). The twin package owns the list so its calibration
+// grid and the timing commands can never drift apart.
 func timingBenchmarks(suite workload.Suite) []string {
-	names := workload.SuiteNames(suite)
-	if suite == workload.SPEC92 {
-		out := names[:0:0]
-		for _, n := range names {
-			if n != "dnasa2" {
-				out = append(out, n)
-			}
-		}
-		return out
-	}
-	return names
+	return twin.TimingBenchmarks(suite)
 }
 
 func generateSuite(suite workload.Suite, scale int) ([]*workload.Program, error) {
@@ -70,16 +63,17 @@ func runFig3(args []string) error {
 	cacheScale := cacheScaleFlag(fs)
 	workers := workersFlag(fs)
 	suiteName := fs.String("suite", "both", "92, 95, or both")
+	tw := twinFlags(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
-	suites := []workload.Suite{workload.SPEC92, workload.SPEC95}
-	if *suiteName != "both" {
-		s, err := parseSuite(*suiteName)
-		if err != nil {
-			return err
-		}
-		suites = []workload.Suite{s}
+	suites, err := suiteList(*suiteName)
+	if err != nil {
+		return usageErr(err)
+	}
+	surr, err := tw.surrogate(suites, *scale, *cacheScale, *workers)
+	if err != nil {
+		return err
 	}
 	for _, suite := range suites {
 		progs, err := generateSuite(suite, *scale)
@@ -88,7 +82,13 @@ func runFig3(args []string) error {
 		}
 		// gridPool threads the checkpoint ledger and fault injector through;
 		// Figure3Pool names the cells (suite-qualified keys in the ledger).
-		cells, err := core.Figure3Pool(suite, progs, *cacheScale, gridPool(*workers, nil))
+		// With -twin, the surrogate serves each cell it covers and the
+		// runner re-simulates the sampled subset as ground truth.
+		pool := gridPool(*workers, nil)
+		if surr != nil {
+			pool.Twin = surr
+		}
+		cells, err := core.Figure3Pool(suite, progs, *cacheScale, pool)
 		if err != nil {
 			return err
 		}
@@ -146,16 +146,17 @@ func runTable6(args []string) error {
 	cacheScale := cacheScaleFlag(fs)
 	workers := workersFlag(fs)
 	suiteName := fs.String("suite", "both", "92, 95, or both")
+	tw := twinFlags(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
-	suites := []workload.Suite{workload.SPEC92, workload.SPEC95}
-	if *suiteName != "both" {
-		s, err := parseSuite(*suiteName)
-		if err != nil {
-			return err
-		}
-		suites = []workload.Suite{s}
+	suites, err := suiteList(*suiteName)
+	if err != nil {
+		return usageErr(err)
+	}
+	surr, err := tw.surrogate(suites, *scale, *cacheScale, *workers)
+	if err != nil {
+		return err
 	}
 	type task struct {
 		suite workload.Suite
@@ -177,16 +178,38 @@ func runTable6(args []string) error {
 		tk := tasks[i]
 		row := []string{tk.p.Name}
 		var fbWins bool
-		for _, expName := range []string{"A", "F"} {
-			m, err := core.MachineByName(tk.suite, expName, *cacheScale)
-			if err != nil {
-				return nil, err
-			}
-			m.Obs = taskObservation(tracer)
-			// Per-task stream: see the core.Decompose ownership rule.
-			res, err := core.Decompose(m, tk.p.Stream())
-			if err != nil {
-				return nil, err
+		for ei, expName := range []string{"A", "F"} {
+			var res core.Decomposition
+			if surr != nil {
+				// Twin cell (shared with the Figure 3 grid). The sampled
+				// subset — deterministic in the flattened cell index, so the
+				// sample is identical at any worker count — is re-simulated
+				// and checked against the calibrated bound.
+				key := core.Figure3CellKey(tk.suite, tk.p.Name, expName)
+				cell, ok := surr.Cell(key)
+				if !ok {
+					return nil, fmt.Errorf("twin model does not cover %s", key)
+				}
+				if surr.Sampled(2*i + ei) {
+					truth, err := table6Decompose(tk.suite, expName, *cacheScale, tk.p, tracer)
+					if err != nil {
+						return nil, err
+					}
+					tb, err := json.Marshal(truth)
+					if err != nil {
+						return nil, fmt.Errorf("%s: encoding ground truth: %w", key, err)
+					}
+					if err := surr.Validate(key, nil, tb); err != nil {
+						return nil, err
+					}
+				}
+				res = cell.Decomposition
+			} else {
+				full, err := table6Decompose(tk.suite, expName, *cacheScale, tk.p, tracer)
+				if err != nil {
+					return nil, err
+				}
+				res = full.Decomposition
 			}
 			row = append(row,
 				fmt.Sprintf("%.1f", res.FL()*100),
@@ -207,6 +230,18 @@ func runTable6(args []string) error {
 	}
 	fmt.Println(t)
 	return nil
+}
+
+// table6Decompose runs the full three-simulation decomposition for one
+// Table 6 cell.
+func table6Decompose(suite workload.Suite, expName string, cacheScale int, p *workload.Program, tracer *telemetry.Tracer) (core.DecomposeResult, error) {
+	m, err := core.MachineByName(suite, expName, cacheScale)
+	if err != nil {
+		return core.DecomposeResult{}, err
+	}
+	m.Obs = taskObservation(tracer)
+	// Per-task stream: see the core.Decompose ownership rule.
+	return core.Decompose(m, p.Stream())
 }
 
 // runTable1 measures the directional claims of the paper's Table 1 by

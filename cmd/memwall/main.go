@@ -24,6 +24,9 @@
 //	profile      simulation-throughput table, experiments A–F
 //	explain      time-attribution report: T_P/T_L/T_B, stall causes,
 //	             interval samples, wall-clock breakdown
+//	twin         calibrate the analytical twin (closed-form T_P/T_L/T_B
+//	             prediction); fig3/table6/export accept -twin to serve
+//	             grid cells from it with sampled re-simulation
 //	all          run everything above in order (explain excluded)
 //
 // Every command also accepts the global observability flags -metrics,
@@ -143,6 +146,7 @@ var allExcluded = map[string]bool{
 	"selfcheck": true,
 	"profile":   true,
 	"explain":   true,
+	"twin":      true,
 }
 
 // allOrder derives the `all` run list from the command registry: the

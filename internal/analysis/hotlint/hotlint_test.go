@@ -7,5 +7,5 @@ import (
 )
 
 func TestHotlint(t *testing.T) {
-	analysistest.Run(t, Analyzer, "./testdata/src/hot", "./testdata/src/hotclean")
+	analysistest.Run(t, Analyzer, "./testdata/src/hot", "./testdata/src/hotclean", "./testdata/src/twinhot")
 }

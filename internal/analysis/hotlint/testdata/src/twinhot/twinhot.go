@@ -1,0 +1,104 @@
+// Package twinhot is the analytical-twin hotlint fixture: a µs-per-point
+// closed-form prediction path written in the approved hot style (flat
+// summary arrays, linear scans, guard-idiom divisions, no allocation), a
+// //memwall:cold calibration entry that may allocate freely, and one
+// regression — a map-backed lookup leaking into the prediction walk —
+// that the analyzer must keep catching.
+package twinhot
+
+import "fmt"
+
+type blockStat struct {
+	block int64
+	hist  [8]int64
+	refs  int64
+}
+
+type summary struct {
+	blocks []blockStat
+	byName map[string]int
+}
+
+type model struct {
+	cpiBase, latency, busWidth float64
+}
+
+// predict is the hot closed-form path: a linear scan over the flat
+// per-block table, index loops over the fixed histogram, and guarded
+// divisions. It must stay allocation-free.
+//
+//memwall:hot
+func predict(m *model, s *summary, block int64) float64 {
+	var b *blockStat
+	for i := range s.blocks {
+		if s.blocks[i].block == block {
+			b = &s.blocks[i]
+			break
+		}
+	}
+	if b == nil {
+		missingBlock(block)
+		return 0
+	}
+	var misses int64
+	for i := 0; i < len(b.hist); i++ {
+		misses += b.hist[i]
+	}
+	refs := float64(b.refs)
+	if refs < 1 {
+		refs = 1
+	}
+	w := m.busWidth
+	if w < 1 {
+		w = 1
+	}
+	return m.cpiBase + m.latency*float64(misses)/refs + float64(b.block)/w
+}
+
+// lookup is the regression: a map index reached from predictNamed's hot
+// walk. Hot lookups belong in a flat keyed table like blocks above.
+func lookup(s *summary, name string) int {
+	return s.byName[name] // want "map index on a hot path \(via twinhot.predictNamed\); hashing and bucket walks per access — keep hot state in a flat keyed table"
+}
+
+//memwall:hot
+func predictNamed(m *model, s *summary, name string) float64 {
+	i := lookup(s, name)
+	return predict(m, s, s.blocks[i].block)
+}
+
+// missingBlock is reachable from predict, but the cold cut keeps its
+// fmt/panic allocations out of the hot set — the blessed escape hatch
+// for can't-happen configuration errors.
+//
+//memwall:cold
+func missingBlock(block int64) {
+	panic(fmt.Sprintf("twinhot: no summary statistics for block size %d", block))
+}
+
+// calibrate is the once-per-configuration fitting entry: cold, so its
+// slices, maps, and fmt use are all fine.
+//
+//memwall:cold
+func calibrate(obs [][]float64) *model {
+	sums := make([]float64, len(obs))
+	names := map[string]int{}
+	for i, row := range obs {
+		for _, v := range row {
+			sums[i] += v
+		}
+		names[fmt.Sprint(i)] = i
+	}
+	m := &model{busWidth: 8}
+	for _, s := range sums {
+		m.cpiBase += s
+	}
+	n := float64(len(sums))
+	if n < 1 {
+		n = 1
+	}
+	m.cpiBase /= n
+	return m
+}
+
+var _ = calibrate

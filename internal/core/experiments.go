@@ -176,6 +176,16 @@ func tpKey(prog string, c cpu.Config) perfectKey {
 	}
 }
 
+// Figure3CellKey names one cell of the Figure 3 grid. It is the stable
+// identity shared by the checkpoint ledger and the analytical-twin
+// surrogate (internal/twin): both address cells by this key, so a twin
+// built from a fitted model can serve exactly the cells Figure3Pool asks
+// for. Keys are suite-qualified so the SPEC92 and SPEC95 grids of one
+// invocation never collide.
+func Figure3CellKey(suite workload.Suite, benchmark, experiment string) string {
+	return "fig3:" + suite.String() + ":" + benchmark + "/" + experiment
+}
+
 // BenchmarkDecomposition is one cell of Figure 3: a benchmark run on one
 // experiment machine.
 type BenchmarkDecomposition struct {
@@ -243,7 +253,7 @@ func Figure3Pool(suite workload.Suite, progs []*workload.Program, cacheScale int
 	obs := pool.Obs
 	pool.TaskName = func(i int) string { return "bench:" + tasks[i].p.Name + "/" + tasks[i].m.Name }
 	pool.CellKey = func(i int) string {
-		return "fig3:" + suite.String() + ":" + tasks[i].p.Name + "/" + tasks[i].m.Name
+		return Figure3CellKey(suite, tasks[i].p.Name, tasks[i].m.Name)
 	}
 	// T_P depends only on the core configuration (see PerfectTime), and
 	// Table 5 reuses cores across machines — A/B/C share one, D/E another —

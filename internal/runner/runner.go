@@ -58,6 +58,22 @@ type Checkpoint interface {
 	Record(key string, value []byte)
 }
 
+// Twin is the analytical-surrogate seam (satisfied by *twin.Surrogate).
+// Predict returns the JSON-encoded predicted result for a cell key, or
+// false when the surrogate has no prediction for it — such cells are
+// computed normally, so a partial model degrades gracefully. Sampled
+// selects the deterministic ground-truth subset by task index: a sampled
+// cell is additionally computed in full, and Validate compares the two
+// encoded results, returning a non-nil error to fail the run loudly when
+// the prediction misses its calibrated error bound. Either way the
+// prediction is what the caller receives, so grid output is identical
+// whether or not a cell happened to be sampled.
+type Twin interface {
+	Predict(key string) ([]byte, bool)
+	Sampled(index int) bool
+	Validate(key string, predicted, computed []byte) error
+}
+
 // Fault is the worker-level fault seam (satisfied by
 // *faultinject.Injector, including a nil one). CellStart runs at the top
 // of every computed cell and may panic (worker kill) or call cancel
@@ -100,6 +116,16 @@ type Config struct {
 	// Lookup never hits (e.g. a record-only ledger) degrades to plain
 	// journaling.
 	Checkpoint Checkpoint
+	// Twin, when non-nil, serves cells from an analytical surrogate
+	// instead of computing them: a cell whose key the twin can predict
+	// returns the decoded prediction, and the deterministic sample the
+	// twin selects (Sampled) is additionally computed as ground truth and
+	// checked against its calibrated bound (Validate) — a miss fails the
+	// run. Twin-served cells bypass the checkpoint ledger entirely
+	// (predictions are microseconds; journaling them would let a later
+	// non-twin resume mistake a prediction for a simulated result).
+	// Requires a key function (CellKey or TaskName).
+	Twin Twin
 	// Fault, when non-nil, is invoked at the start of every computed
 	// (non-checkpoint-served) cell; it is the injection point for
 	// deterministic worker kills and context cancellation.
@@ -127,6 +153,10 @@ type CellRecord struct {
 	// FromCheckpoint reports whether the cell was served from the
 	// checkpoint ledger instead of being computed.
 	FromCheckpoint bool `json:"fromCheckpoint,omitempty"`
+	// FromTwin reports whether the cell was served by the analytical
+	// surrogate (true even for sampled cells, which also ran the full
+	// computation for validation).
+	FromTwin bool `json:"fromTwin,omitempty"`
 	// Failed reports whether the cell returned an error (or panicked).
 	Failed bool `json:"failed,omitempty"`
 }
@@ -228,6 +258,7 @@ func Map[T any](ctx context.Context, cfg Config, n int, fn Func[T]) ([]T, error)
 		}
 		defer sp.End()
 		fromCheckpoint := false
+		fromTwin := false
 		if cfg.Cells != nil {
 			//memlint:allow detlint cell wall stats measure the simulator itself, not simulated time
 			claimed := time.Now()
@@ -241,6 +272,7 @@ func Map[T any](ctx context.Context, cfg Config, n int, fn Func[T]) ([]T, error)
 					WallSeconds:    wall.Seconds(),
 					QueueSeconds:   claimed.Sub(cfg.Cells.start).Seconds(),
 					FromCheckpoint: fromCheckpoint,
+					FromTwin:       fromTwin,
 					Failed:         err != nil,
 				}
 				if keyFn != nil {
@@ -259,6 +291,38 @@ func Map[T any](ctx context.Context, cfg Config, n int, fn Func[T]) ([]T, error)
 				err = fmt.Errorf("%s panicked: %v", cellID(i), r)
 			}
 		}()
+		if cfg.Twin != nil && keyFn != nil {
+			key := keyFn(i)
+			if pb, ok := cfg.Twin.Predict(key); ok {
+				var pred T
+				if jerr := json.Unmarshal(pb, &pred); jerr == nil {
+					if cfg.Twin.Sampled(i) {
+						// Ground-truth sample: compute the cell in full and
+						// check the prediction against its calibrated bound.
+						// The fault seam still fires — a sampled cell is a
+						// computed cell.
+						if cfg.Fault != nil {
+							cfg.Fault.CellStart(i, cancel)
+						}
+						truth, terr := fn(ctx, i, tracer)
+						if terr != nil {
+							return pred, terr
+						}
+						tb, jerr2 := json.Marshal(truth)
+						if jerr2 != nil {
+							return pred, fmt.Errorf("%s: encoding ground truth: %w", cellID(i), jerr2)
+						}
+						if verr := cfg.Twin.Validate(key, pb, tb); verr != nil {
+							return pred, verr
+						}
+					}
+					fromTwin = true
+					return pred, nil
+				}
+				// Undecodable prediction (schema drift): compute normally.
+				cfg.Obs.Metrics.Counter("runner.twin.decode_errors").Inc()
+			}
+		}
 		if cfg.Checkpoint != nil && keyFn != nil {
 			if b, ok := cfg.Checkpoint.Lookup(keyFn(i)); ok {
 				var cached T

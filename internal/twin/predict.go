@@ -1,0 +1,381 @@
+// The closed-form predictor: summary statistics + machine point -> T_P,
+// T_I, T. The per-point path is hot (//memwall:hot): no allocations, no
+// map accesses, no fmt — a prediction is a few hundred float operations,
+// which is what makes million-point sweeps feasible.
+package twin
+
+import (
+	"math"
+
+	"memwall/internal/core"
+)
+
+// refRUU is the reference out-of-order window size the window-scaling
+// features are normalized to (experiment D's SPEC92 RUU).
+const refRUU = 16.0
+
+// maxRho caps the modelled memory-bus utilization in the M/D/1 queueing
+// term, keeping the waiting-time factor rho/(1-rho) finite near
+// saturation.
+const maxRho = 0.95
+
+// MachinePoint is the machine configuration the predictor consumes — the
+// analytically-relevant subset of core.Machine, flattened to plain values
+// so sweeps can synthesize points without building full configs.
+type MachinePoint struct {
+	// Core.
+	IssueWidth        int
+	LSUnits           int
+	OutOfOrder        bool
+	RUUSlots          int
+	PredictorEntries  int
+	MispredictPenalty int64
+	// Memory hierarchy geometry.
+	L1Size  int
+	L1Block int
+	L1Assoc int
+	L1MSHRs int
+	L2Size  int
+	L2Block int
+	L2Assoc int
+	// Latencies beyond the previous level, in processor cycles.
+	L2AccessCycles  int64
+	MemAccessCycles int64
+	// Buses: width in bytes, bus-to-processor clock ratio.
+	L1L2BusWidth int
+	L1L2BusRatio int
+	MemBusWidth  int
+	MemBusRatio  int
+	// Tagged prefetching (experiments E/F).
+	TaggedPrefetch bool
+	// ClockMHz scales cross-machine time comparisons (experiment F).
+	ClockMHz int
+}
+
+// PointFromMachine flattens a core.Machine into the predictor's input.
+func PointFromMachine(m core.Machine) MachinePoint {
+	return MachinePoint{
+		IssueWidth:        m.CPU.IssueWidth,
+		LSUnits:           m.CPU.LSUnits,
+		OutOfOrder:        m.CPU.OutOfOrder,
+		RUUSlots:          m.CPU.RUUSlots,
+		PredictorEntries:  m.CPU.PredictorEntries,
+		MispredictPenalty: m.CPU.MispredictPenalty,
+		L1Size:            m.Mem.L1.Size,
+		L1Block:           m.Mem.L1.BlockSize,
+		L1Assoc:           m.Mem.L1.Assoc,
+		L1MSHRs:           m.Mem.L1.MSHRs,
+		L2Size:            m.Mem.L2.Size,
+		L2Block:           m.Mem.L2.BlockSize,
+		L2Assoc:           m.Mem.L2.Assoc,
+		L2AccessCycles:    int64(m.Mem.L2.AccessCycles),
+		MemAccessCycles:   int64(m.Mem.MemAccessCycles),
+		L1L2BusWidth:      m.Mem.L1L2Bus.WidthBytes,
+		L1L2BusRatio:      m.Mem.L1L2Bus.Ratio,
+		MemBusWidth:       m.Mem.MemBus.WidthBytes,
+		MemBusRatio:       m.Mem.MemBus.Ratio,
+		TaggedPrefetch:    m.Mem.TaggedPrefetch,
+		ClockMHz:          m.ClockMHz,
+	}
+}
+
+// Prediction is the twin's closed-form estimate of one (workload, machine)
+// cell, in processor cycles and bytes.
+type Prediction struct {
+	TP, TI, T        float64
+	Mispredicts      float64
+	L1Misses         float64
+	L2Misses         float64
+	WriteBacksL1     float64
+	WriteBacksL2     float64
+	L1L2TrafficBytes float64
+	MemTrafficBytes  float64
+}
+
+// Valid reports whether the prediction is usable (the predictor returns a
+// zero Prediction when the summary lacks the machine's block grains).
+func (p Prediction) Valid() bool { return p.T > 0 }
+
+// parts holds the machine-dependent intermediates shared by Predict and
+// the calibration fitter: everything up to — but not including — the
+// fitted latency-tolerance and bandwidth coefficients, so the fitter can
+// build its least-squares features from exactly the quantities the
+// predictor will use.
+type parts struct {
+	ok bool
+	// exact marks that the cache statistics came from the summarizer's
+	// functional hierarchy model rather than the capacity estimate.
+	exact  bool
+	mispr  float64
+	tp     float64
+	rawLat float64
+	// Latency-tolerance class of the machine.
+	blocking  bool    // in-order, MSHRs == 1
+	lockupIO  bool    // in-order, lockup-free
+	windowLog float64 // log2(RUU/refRUU) when out-of-order
+	// Bandwidth features.
+	busy12   float64 // L1<->L2 bus busy cycles implied by modelled traffic
+	busyMem  float64 // memory bus busy cycles
+	prefetch float64 // 1 when tagged prefetching is on
+	// Traffic components for the reported statistics.
+	l1Misses, l2Misses float64
+	wb1, wb2           float64
+	l12Traffic         float64
+	memTraffic         float64
+}
+
+// pointGeometry derives the machine point's exact-summary geometry key,
+// mirroring mem.newLevel's set arithmetic (sets = size/block/assoc, assoc
+// clamped into [1, blocks]).
+//
+//memwall:hot
+func pointGeometry(pt *MachinePoint) Geometry {
+	return Geometry{
+		L1Block: pt.L1Block, L1Sets: levelSets(pt.L1Size, pt.L1Block, pt.L1Assoc),
+		L2Block: pt.L2Block, L2Sets: levelSets(pt.L2Size, pt.L2Block, pt.L2Assoc),
+	}
+}
+
+//memwall:hot
+func levelSets(size, block, assoc int) int {
+	if block < 1 {
+		block = 1
+	}
+	blocks := size / block
+	if assoc <= 0 || assoc > blocks {
+		blocks2 := blocks
+		if blocks2 < 1 {
+			blocks2 = 1
+		}
+		assoc = blocks2
+	}
+	if assoc < 1 {
+		assoc = 1
+	}
+	return blocks / assoc
+}
+
+// parts computes the shared intermediates for one machine point.
+//
+//memwall:hot
+func (w *WorkloadModel) parts(pt *MachinePoint) parts {
+	var p parts
+	s := w.Summary
+	if s == nil || s.Insts <= 0 {
+		return p
+	}
+	b1 := s.blockStats(pt.L1Block)
+	b2 := s.blockStats(pt.L2Block)
+	if b1 == nil || b2 == nil {
+		return p
+	}
+
+	// T_P: fitted CPI plus the exact mispredict count, floored by the
+	// roofline bounds (issue width, load/store units, dataflow critical
+	// path).
+	p.mispr = s.mispredicts(pt.PredictorEntries)
+	cpi := w.CPIBase
+	ruu := pt.RUUSlots
+	if ruu < 1 {
+		ruu = 1
+	}
+	if pt.OutOfOrder {
+		cpi += w.CPIWindow * refRUU / float64(ruu)
+	} else {
+		cpi += w.CPIInorder
+	}
+	tp := float64(s.Insts)*cpi + p.mispr*float64(pt.MispredictPenalty)
+	iw := pt.IssueWidth
+	if iw < 1 {
+		iw = 1
+	}
+	if floor := float64(s.Insts) / float64(iw); tp < floor {
+		tp = floor
+	}
+	lsu := pt.LSUnits
+	if lsu < 1 {
+		lsu = 1
+	}
+	if floor := float64(s.Loads+s.Stores) / float64(lsu); tp < floor {
+		tp = floor
+	}
+	if floor := float64(s.CritPath); tp < floor {
+		tp = floor
+	}
+	p.tp = tp
+
+	// Cache behaviour: when the summary was extracted against this exact
+	// geometry (every calibration-grid machine), take the functional
+	// hierarchy model's counts directly; otherwise estimate from the reuse
+	// histograms, with effective capacity scaled by the fitted
+	// associativity-effectiveness factor (a direct-mapped L1 behaves like
+	// a smaller fully-associative one).
+	l1b := pt.L1Block
+	if l1b < 1 {
+		l1b = 1
+	}
+	l2b := pt.L2Block
+	if l2b < 1 {
+		l2b = 1
+	}
+	// The functional hierarchy model fixes the Table 4 associativities
+	// (direct-mapped L1, 4-way L2); other organisations use the fallback.
+	var h *HierStat
+	if pt.L1Assoc == 1 && pt.L2Assoc == 4 {
+		h = s.hierStats(pointGeometry(pt))
+	}
+	var l1LoadMisses, l2LoadMisses float64
+	if h != nil {
+		p.exact = true
+		p.l1Misses = float64(h.L1Misses)
+		l1LoadMisses = float64(h.L1LoadMisses)
+		p.l2Misses = float64(h.L2Misses)
+		l2LoadMisses = float64(h.L2LoadMisses)
+		p.wb1 = float64(h.WriteBacksL1)
+		p.wb2 = float64(h.WriteBacksL2)
+		p.l12Traffic = (p.l1Misses + p.wb1) * float64(l1b)
+		p.memTraffic = p.l2Misses*float64(l2b) + p.wb2*float64(l2b) + float64(h.WBMissL2)*float64(l1b)
+	} else {
+		capL1 := float64(pt.L1Size) / float64(l1b) * w.AssocEffL1
+		capL2 := float64(pt.L2Size) / float64(l2b) * w.AssocEffL2
+		p.l1Misses = b1.MissFraction(capL1, false) * float64(b1.Refs)
+		l1LoadMisses = b1.MissFraction(capL1, true) * float64(b1.ReadRefs)
+		p.l2Misses = b2.MissFraction(capL2, false) * float64(b2.Refs)
+		l2LoadMisses = b2.MissFraction(capL2, true) * float64(b2.ReadRefs)
+		if p.l2Misses > p.l1Misses {
+			p.l2Misses = p.l1Misses
+		}
+		if l2LoadMisses > l1LoadMisses {
+			l2LoadMisses = l1LoadMisses
+		}
+	}
+
+	// Tagged prefetch hides the sequential share of load misses,
+	// discounted by the fitted effectiveness.
+	effL1Load, effL2Load := l1LoadMisses, l2LoadMisses
+	if pt.TaggedPrefetch {
+		p.prefetch = 1
+		seq := 0.0
+		if cold := float64(b1.ColdMisses); cold > 0 {
+			seq = float64(b1.SeqFirstTouch) / cold
+		}
+		e := w.PrefetchEff * seq
+		if e > 1 {
+			e = 1
+		}
+		if e < 0 {
+			e = 0
+		}
+		effL1Load *= 1 - e
+		effL2Load *= 1 - e
+	}
+
+	// Raw (untolerated) load-miss latency: each L1 load miss pays the L2
+	// access, each L2 load miss additionally pays the memory access.
+	p.rawLat = effL1Load*float64(pt.L2AccessCycles) + effL2Load*float64(pt.MemAccessCycles)
+	if pt.OutOfOrder {
+		p.windowLog = math.Log2(float64(ruu) / refRUU)
+	} else if pt.L1MSHRs <= 1 {
+		p.blocking = true
+	} else {
+		p.lockupIO = true
+	}
+
+	// Traffic and bus occupancy. The exact path filled traffic above; the
+	// fallback estimates write-backs as the dirty share of the displaced
+	// working set, at each level's block grain.
+	if !p.exact {
+		if cold := float64(b1.ColdMisses); cold > 0 {
+			p.wb1 = p.l1Misses * float64(b1.DirtyBlocks) / cold
+		}
+		if cold := float64(b2.ColdMisses); cold > 0 {
+			p.wb2 = p.l2Misses * float64(b2.DirtyBlocks) / cold
+		}
+		p.l12Traffic = (p.l1Misses + p.wb1) * float64(l1b)
+		p.memTraffic = (p.l2Misses + p.wb2) * float64(l2b)
+	}
+	w12 := pt.L1L2BusWidth
+	if w12 < 1 {
+		w12 = 1
+	}
+	wm := pt.MemBusWidth
+	if wm < 1 {
+		wm = 1
+	}
+	p.busy12 = p.l12Traffic / float64(w12) * float64(pt.L1L2BusRatio)
+	p.busyMem = p.memTraffic / float64(wm) * float64(pt.MemBusRatio)
+	p.ok = true
+	return p
+}
+
+// latMult is the fitted latency-tolerance multiplier for the machine's
+// class: how much of the raw miss latency the core fails to hide.
+//
+//memwall:hot
+func (w *WorkloadModel) latMult(p *parts) float64 {
+	var mult float64
+	switch {
+	case p.blocking:
+		mult = w.LatBlocking
+	case p.lockupIO:
+		mult = w.LatLockupIO
+	default:
+		mult = w.LatOOO + w.LatWindow*p.windowLog
+	}
+	if mult < 0 {
+		mult = 0
+	}
+	return mult
+}
+
+// Predict maps a machine point to the predicted decomposition. Hot path:
+// no allocations, no maps, no fmt — suitable for million-point sweeps.
+// The returned Prediction is invalid (Valid() == false) when the model's
+// summary lacks the machine's block grains.
+//
+//memwall:hot
+func (w *WorkloadModel) Predict(pt *MachinePoint) Prediction {
+	var out Prediction
+	p := w.parts(pt)
+	if !p.ok {
+		return out
+	}
+	ti := p.tp + p.rawLat*w.latMult(&p)
+	if ti < p.tp {
+		ti = p.tp
+	}
+
+	// Bandwidth: fitted occupancy terms plus an M/D/1-style queueing term
+	// whose utilization comes from a short fixed-point iteration on the
+	// predicted execution time itself.
+	t := ti
+	for it := 0; it < 3; it++ {
+		rho := 0.0
+		if t > 0 {
+			rho = p.busyMem / t
+		}
+		if rho > maxRho {
+			rho = maxRho
+		}
+		q := 0.0
+		if den := 1 - rho; den > 0 {
+			q = p.busyMem * rho / den
+		}
+		t = ti + w.BWMem*p.busyMem + w.BWL1L2*p.busy12 + w.BWPrefetch*p.busyMem*p.prefetch + w.BWQueue*q
+		if t < ti {
+			t = ti
+		}
+	}
+
+	out.TP = p.tp
+	out.TI = ti
+	out.T = t
+	out.Mispredicts = p.mispr
+	out.L1Misses = p.l1Misses
+	out.L2Misses = p.l2Misses
+	out.WriteBacksL1 = p.wb1
+	out.WriteBacksL2 = p.wb2
+	out.L1L2TrafficBytes = p.l12Traffic
+	out.MemTrafficBytes = p.memTraffic
+	return out
+}
