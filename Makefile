@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-json vet fmt lint memlint lint-baseline figures paper selfcheck selfcheck-par profile race chaos clean
+.PHONY: all build test bench bench-json vet fmt lint memlint lint-baseline figures paper selfcheck selfcheck-par profile race chaos serve-smoke clean
 
 all: build test
 
@@ -97,14 +97,25 @@ race:
 	$(GO) test -race -timeout 20m -run 'ParallelDeterminism|CorpusParallelIdentical|Fig3Output|Table1Output|Table6Output' ./cmd/memwall
 
 # Chaos suite: every injected fault class (short write, ENOSPC, torn
-# rename, bit-flip, worker panic, context cancel) exercised under the race
-# detector — the fault-injection unit tests, the checkpoint ledger's
-# degradation paths, the corpus disk-tier corruption paths, and the CLI
-# kill-and-resume determinism tests (see DESIGN.md §11).
+# rename, bit-flip, worker panic, context cancel, slow write) exercised
+# under the race detector — the fault-injection unit tests, the
+# checkpoint ledger's degradation paths (including the Flight coalescing
+# tier), the corpus disk-tier corruption paths, the simulation service's
+# kill-and-drain / admission / coalescing tests, and the CLI
+# kill-and-resume and cancel-then-resume determinism tests (see
+# DESIGN.md §11 and §16).
 chaos:
-	$(GO) test -race -timeout 20m ./internal/faultinject/... ./internal/checkpoint/...
+	$(GO) test -race -timeout 20m ./internal/faultinject/... ./internal/checkpoint/... ./internal/serve/...
 	$(GO) test -race -timeout 20m -run 'Panic|Fault|Checkpoint|Corrupt|Stale|Torn|BitFlip|MidWriteKill|Truncated|FingerprintMismatch|Unwritable' ./internal/runner/... ./internal/corpus/...
-	$(GO) test -race -timeout 20m -run 'KillAndResume|CorruptLedger|FaultSchedule' ./cmd/memwall
+	$(GO) test -race -timeout 20m -run 'KillAndResume|CorruptLedger|FaultSchedule|CancelThenResume|ServeSmoke' ./cmd/memwall
+
+# One-request end-to-end check of the simulation service: run
+# `memwall serve -smoke` (ephemeral port, healthz, one POSTed fig3 cell,
+# graceful drain, drainz) and diff the served cell payload against the
+# committed golden file — the byte-identical-responses contract.
+serve-smoke:
+	$(GO) run ./cmd/memwall serve -smoke 2>/dev/null | diff - examples/serve_smoke_golden.json
+	@echo "serve-smoke: output matches examples/serve_smoke_golden.json"
 
 clean:
 	rm -rf figures test_output.txt bench_output.txt profile_baseline.txt

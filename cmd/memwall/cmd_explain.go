@@ -123,16 +123,12 @@ func runExplain(args []string) error {
 		TopCauses:     attr.TopCausesFromConfigs(configs),
 		Wall:          wall,
 	}
-	// Corpus/checkpoint hit attribution rides on the metrics registry:
-	// present only when the run had -metrics (the counters live there).
+	// Corpus/checkpoint/serve hit attribution rides on the metrics
+	// registry: present only when the run had -metrics (the counters
+	// live there). The serve.* prefix covers reports written by a
+	// draining `memwall serve -metrics` run.
 	if snap := observation().Metrics.Snapshot(); len(snap.Counters) > 0 {
-		hits := map[string]int64{}
-		for name, v := range snap.Counters {
-			if strings.HasPrefix(name, "corpus.") || strings.HasPrefix(name, "checkpoint.") {
-				hits[name] = v
-			}
-		}
-		if len(hits) > 0 {
+		if hits := snap.CounterPrefix("corpus.", "checkpoint.", "serve."); len(hits) > 0 {
 			rep.Corpus = hits
 		}
 	}

@@ -147,6 +147,7 @@ var allExcluded = map[string]bool{
 	"profile":   true,
 	"explain":   true,
 	"twin":      true,
+	"serve":     true, // long-running service; `all` must terminate
 }
 
 // allOrder derives the `all` run list from the command registry: the

@@ -191,6 +191,21 @@ var currentFault *faultinject.Injector
 // activeFault returns the invocation's fault injector (possibly nil).
 func activeFault() *faultinject.Injector { return currentFault }
 
+// currentFS is the run's (injector-wrapped) filesystem, and
+// currentCheckpointDir the -checkpoint-dir value; the serve subcommand
+// threads both into its own per-fingerprint ledgers.
+var (
+	currentFS            faultinject.FS
+	currentCheckpointDir string
+)
+
+// activeFS returns the invocation's filesystem seam (possibly nil; nil
+// means the plain OS).
+func activeFS() faultinject.FS { return currentFS }
+
+// activeCheckpointDir returns the -checkpoint-dir value ("" when unset).
+func activeCheckpointDir() string { return currentCheckpointDir }
+
 // gridPool assembles the runner.Config for a -j grid sweep: the run-wide
 // telemetry hooks plus — when -checkpoint-dir / -fault-schedule are active
 // — the cell ledger and fault injector. taskName keeps each subcommand's
@@ -364,12 +379,22 @@ func runObserved(name string, rest []string, opts globalOpts, fn func() error) (
 	currentCorpus = corp
 	currentCheckpoint = ledger
 	currentFault = inject
+	currentFS = fsys
+	currentCheckpointDir = opts.checkpointDir
 
 	defer func() {
 		currentObs = telemetry.Observation{}
 		currentCorpus = nil
 		currentCheckpoint = nil
 		currentFault = nil
+		currentFS = nil
+		currentCheckpointDir = ""
+
+		// Close the ledger before flushing reports: a resumable ledger's
+		// lifecycle ends exactly here, and a Close'd ledger makes any
+		// late Record (a leaked goroutine, a bug) a no-op instead of a
+		// write into a file the run already accounted for.
+		ledger.Close()
 
 		prog.Done()
 		if stopCPU != nil {

@@ -34,6 +34,7 @@ func runObservedCapture(t *testing.T, opts globalOpts, name string, args ...stri
 	go func() {
 		var buf bytes.Buffer
 		_, _ = buf.ReadFrom(r)
+		r.Close() // keep the capture fd-neutral (the fd-leak tests count)
 		done <- buf.String()
 	}()
 	runErr := runObserved(name, args, opts, func() error { return dispatch(name, args) })

@@ -120,6 +120,7 @@ type Ledger struct {
 	mu       sync.Mutex
 	cells    map[string]json.RawMessage
 	disabled bool // journaling stopped after a write failure
+	closed   bool // ledger retired by Close; Lookup misses, Record no-ops
 
 	// corruptions and staleness track detection counts independently of
 	// the (optional) metrics registry, for exit-code reporting.
@@ -200,6 +201,9 @@ func (l *Ledger) Lookup(key string) ([]byte, bool) {
 	}
 	l.mu.Lock()
 	v, ok := l.cells[key]
+	if l.closed {
+		ok = false
+	}
 	l.mu.Unlock()
 	if !ok {
 		l.ctr.misses.Inc()
@@ -207,6 +211,21 @@ func (l *Ledger) Lookup(key string) ([]byte, bool) {
 	}
 	l.ctr.hits.Inc()
 	return v, true
+}
+
+// Close retires the ledger: subsequent Lookups miss and Records no-op,
+// so a cancellation racing teardown cannot journal into a ledger the run
+// has already flushed. The ledger holds no persistent file handle (every
+// write opens, writes, and renames its own temp file), so Close releases
+// no descriptors — it exists to make the lifecycle explicit and the
+// no-use-after-close property testable. Idempotent, nil-safe.
+func (l *Ledger) Close() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
 }
 
 // Record journals one completed cell and atomically rewrites the ledger
@@ -219,7 +238,7 @@ func (l *Ledger) Record(key string, value []byte) {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.disabled {
+	if l.disabled || l.closed {
 		return
 	}
 	l.cells[key] = json.RawMessage(value)

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"sync"
 	"syscall"
+	"time"
 
 	"memwall/internal/telemetry"
 )
@@ -42,10 +43,24 @@ const (
 	// Cancel cancels the run context at the start of the Nth runner
 	// cell: an external shutdown arriving mid-grid.
 	Cancel Class = "cancel"
+	// SlowWrite delays the Nth file-content Write call by the
+	// injector's slow-write delay (default DefaultSlowWriteDelay), then
+	// performs it normally: a stalled disk rather than a failed one.
+	// The write succeeds, so this class exercises deadline and timeout
+	// paths (a `memwall serve` request whose checkpoint journaling
+	// outlives its deadline) without corrupting any persisted state.
+	SlowWrite Class = "slowwrite"
 )
 
+// DefaultSlowWriteDelay is the injected latency of a slowwrite fault
+// when the injector has no explicit delay configured. The occurrence the
+// fault fires on is deterministic (counted, like every class); the delay
+// itself is wall-clock by design — its entire purpose is to outlast a
+// caller's deadline.
+const DefaultSlowWriteDelay = 100 * time.Millisecond
+
 // classes lists every valid class, for Parse diagnostics.
-var classes = []Class{ShortWrite, ENOSPC, TornRename, BitFlip, Panic, Cancel}
+var classes = []Class{ShortWrite, ENOSPC, TornRename, BitFlip, Panic, Cancel, SlowWrite}
 
 // counterName returns the telemetry counter tracking injections of c.
 func counterName(c Class) string { return "fault.injected." + string(c) }
@@ -64,6 +79,10 @@ type Injector struct {
 	// fired counts injections per class.
 	fired map[Class]int64
 
+	// slowDelay is the injected latency of the slowwrite class
+	// (DefaultSlowWriteDelay when zero).
+	slowDelay time.Duration
+
 	metrics *telemetry.Registry
 }
 
@@ -73,7 +92,7 @@ type Injector struct {
 //	<class>@<n>
 //
 // where <class> is one of shortwrite, enospc, tornrename, bitflip, panic,
-// cancel, and <n> is the 1-based occurrence of that class's eligible
+// cancel, slowwrite, and <n> is the 1-based occurrence of that class's eligible
 // operation to fire on ("shortwrite@2,panic@5" fails the second
 // file-content write and kills the fifth grid cell). An empty schedule
 // returns a nil injector.
@@ -127,6 +146,27 @@ func (in *Injector) Bind(metrics *telemetry.Registry) {
 	in.mu.Lock()
 	in.metrics = metrics
 	in.mu.Unlock()
+}
+
+// SetSlowWriteDelay overrides the latency a slowwrite fault injects
+// (tests shorten it; <= 0 restores DefaultSlowWriteDelay). Nil-safe.
+func (in *Injector) SetSlowWriteDelay(d time.Duration) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.slowDelay = d
+	in.mu.Unlock()
+}
+
+// slowWriteDelay returns the configured slowwrite latency.
+func (in *Injector) slowWriteDelay() time.Duration {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.slowDelay > 0 {
+		return in.slowDelay
+	}
+	return DefaultSlowWriteDelay
 }
 
 // String renders the armed schedule in a stable order (for logs/tests).
@@ -285,6 +325,11 @@ func (f *faultFile) Write(p []byte) (int, error) {
 	}
 	if _, hit := f.in.fire(ENOSPC); hit {
 		return 0, errInjected{class: ENOSPC, op: "write", err: syscall.ENOSPC}
+	}
+	if _, hit := f.in.fire(SlowWrite); hit {
+		// A stalled disk: the write eventually succeeds, it just takes
+		// longer than any reasonable deadline expects.
+		time.Sleep(f.in.slowWriteDelay())
 	}
 	return f.File.Write(p)
 }

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"syscall"
 	"testing"
+	"time"
 
 	"memwall/internal/telemetry"
 )
@@ -119,6 +120,58 @@ func TestENOSPCLeavesNoFile(t *testing.T) {
 	}
 	if in.Injected(ENOSPC) != 1 {
 		t.Error("ENOSPC not counted")
+	}
+}
+
+func TestSlowWriteDelaysButSucceeds(t *testing.T) {
+	dir := t.TempDir()
+	in, err := Parse("slowwrite@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.SetSlowWriteDelay(50 * time.Millisecond)
+	path := filepath.Join(dir, "out.json")
+	//memlint:allow detlint measuring the injected host latency is the point of the test
+	start := time.Now()
+	if _, err := writeVia(in.Wrap(OS()), path, "hello"); err != nil {
+		t.Fatalf("slowwrite write failed: %v", err)
+	}
+	//memlint:allow detlint measuring the injected host latency is the point of the test
+	elapsed := time.Since(start)
+	if elapsed < 50*time.Millisecond {
+		t.Errorf("write took %v, want >= 50ms of injected latency", elapsed)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("read back %q, %v; slowwrite must not corrupt the file", b, err)
+	}
+	if in.Injected(SlowWrite) != 1 {
+		t.Error("SlowWrite not counted")
+	}
+	// The schedule is one-shot: the second write is not delayed.
+	//memlint:allow detlint measuring the injected host latency is the point of the test
+	start = time.Now()
+	if _, err := writeVia(in.Wrap(OS()), path, "hello"); err != nil {
+		t.Fatalf("second write failed: %v", err)
+	}
+	//memlint:allow detlint measuring the injected host latency is the point of the test
+	if again := time.Since(start); again >= 50*time.Millisecond {
+		t.Errorf("second write took %v, want no injected latency", again)
+	}
+}
+
+func TestSlowWriteDelayDefault(t *testing.T) {
+	in, _ := Parse("slowwrite@1")
+	if got := in.slowWriteDelay(); got != DefaultSlowWriteDelay {
+		t.Errorf("default delay = %v, want %v", got, DefaultSlowWriteDelay)
+	}
+	in.SetSlowWriteDelay(time.Second)
+	if got := in.slowWriteDelay(); got != time.Second {
+		t.Errorf("delay after set = %v, want 1s", got)
+	}
+	in.SetSlowWriteDelay(0)
+	if got := in.slowWriteDelay(); got != DefaultSlowWriteDelay {
+		t.Errorf("delay after reset = %v, want %v", got, DefaultSlowWriteDelay)
 	}
 }
 

@@ -205,6 +205,57 @@ func (s *CellStats) Records() []CellRecord {
 	return out
 }
 
+// Summary aggregates one Map call's cell accounting — the queue-level
+// statistics a serving layer reports per job.
+type Summary struct {
+	// Cells is the number of cells the pool executed (grid size, minus
+	// any skipped after a fail-fast cancel).
+	Cells int `json:"cells"`
+	// Computed counts cells that ran the full computation.
+	Computed int `json:"computed"`
+	// FromCheckpoint counts cells served from the checkpoint ledger.
+	FromCheckpoint int `json:"fromCheckpoint"`
+	// FromTwin counts cells served by the analytical surrogate.
+	FromTwin int `json:"fromTwin"`
+	// Failed counts cells that returned an error or panicked.
+	Failed int `json:"failed"`
+	// WallSeconds is the summed per-cell wall time (CPU-seconds of grid
+	// work, not elapsed time — cells overlap across workers).
+	WallSeconds float64 `json:"wallSeconds"`
+	// MaxQueueSeconds is the longest any cell waited between Map starting
+	// and a worker claiming it — the queue-wait the worker budget induced.
+	MaxQueueSeconds float64 `json:"maxQueueSeconds"`
+}
+
+// Summary aggregates the collected records. Nil-safe (zero Summary).
+func (s *CellStats) Summary() Summary {
+	var out Summary
+	if s == nil {
+		return out
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.records {
+		out.Cells++
+		switch {
+		case r.FromCheckpoint:
+			out.FromCheckpoint++
+		case r.FromTwin:
+			out.FromTwin++
+		case !r.Failed:
+			out.Computed++
+		}
+		if r.Failed {
+			out.Failed++
+		}
+		out.WallSeconds += r.WallSeconds
+		if r.QueueSeconds > out.MaxQueueSeconds {
+			out.MaxQueueSeconds = r.QueueSeconds
+		}
+	}
+	return out
+}
+
 // Func is one grid task. It receives the task index and a tracer pinned
 // to the executing worker's trace track (nil when tracing is off); any
 // simulation it launches must use state it owns — never a stream shared
@@ -304,6 +355,12 @@ func Map[T any](ctx context.Context, cfg Config, n int, fn Func[T]) ([]T, error)
 						if cfg.Fault != nil {
 							cfg.Fault.CellStart(i, cancel)
 						}
+						// A cancellation that landed at the cell boundary
+						// (injected or from a departed client) stops the cell
+						// before its three simulations start.
+						if cerr := ctx.Err(); cerr != nil {
+							return pred, cerr
+						}
 						truth, terr := fn(ctx, i, tracer)
 						if terr != nil {
 							return pred, terr
@@ -337,6 +394,14 @@ func Map[T any](ctx context.Context, cfg Config, n int, fn Func[T]) ([]T, error)
 		}
 		if cfg.Fault != nil {
 			cfg.Fault.CellStart(i, cancel)
+		}
+		// Cell-boundary cancellation check: a context cancelled between
+		// this worker claiming the cell and the compute starting (client
+		// disconnect, injected cancel@N, server drain deadline) must not
+		// burn three simulations on a result nobody will read. The ledger
+		// stays resumable either way — Record only ever runs on success.
+		if cerr := ctx.Err(); cerr != nil {
+			return v, cerr
 		}
 		v, err = fn(ctx, i, tracer)
 		if err == nil && cfg.Checkpoint != nil && keyFn != nil {

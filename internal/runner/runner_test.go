@@ -428,6 +428,52 @@ func TestCellStatsNilSafe(t *testing.T) {
 	if got := s.Records(); got != nil {
 		t.Errorf("nil CellStats returned records: %v", got)
 	}
+	if got := s.Summary(); got != (Summary{}) {
+		t.Errorf("nil CellStats Summary = %+v, want zero", got)
+	}
+}
+
+// TestCellStatsSummary: the aggregate classifies every attribution
+// exactly once and accumulates wall/queue timing.
+func TestCellStatsSummary(t *testing.T) {
+	s := &CellStats{}
+	s.begin(4, time.Time{})
+	s.record(CellRecord{Index: 0, WallSeconds: 1, QueueSeconds: 0.5})
+	s.record(CellRecord{Index: 1, WallSeconds: 2, QueueSeconds: 3, FromCheckpoint: true})
+	s.record(CellRecord{Index: 2, WallSeconds: 4, FromTwin: true})
+	s.record(CellRecord{Index: 3, WallSeconds: 8, QueueSeconds: 1, Failed: true})
+	got := s.Summary()
+	want := Summary{Cells: 4, Computed: 1, FromCheckpoint: 1, FromTwin: 1, Failed: 1, WallSeconds: 15, MaxQueueSeconds: 3}
+	if got != want {
+		t.Errorf("Summary = %+v, want %+v", got, want)
+	}
+}
+
+// TestMapCancelAtCellBoundary: a context cancelled by the fault hook
+// stops the claimed cell before its computation runs — the serving
+// layer's guarantee that a disconnected client frees its workers
+// without burning simulations on unread results.
+func TestMapCancelAtCellBoundary(t *testing.T) {
+	for _, j := range []int{1, 4} {
+		var computed [8]atomic.Bool
+		_, err := Map(context.Background(), Config{
+			Workers: j,
+			Fault: cellStartFunc(func(index int, cancel func()) {
+				cancel() // every claimed cell cancels the run at its own boundary
+			}),
+		}, 8, func(ctx context.Context, i int, _ *telemetry.Tracer) (int, error) {
+			computed[i].Store(true)
+			return i, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("j=%d: err = %v, want context.Canceled", j, err)
+		}
+		for i := range computed {
+			if computed[i].Load() {
+				t.Errorf("j=%d: cell %d computed after a boundary cancellation", j, i)
+			}
+		}
+	}
 }
 
 // fakeTwin is an in-memory Twin seam: it predicts the cells in preds,

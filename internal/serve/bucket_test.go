@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// at builds a synthetic timeline: t0 plus a number of milliseconds.
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func at(ms int) time.Time { return t0.Add(time.Duration(ms) * time.Millisecond) }
+
+// TestBucketBurst: a fresh bucket admits exactly burst requests
+// back-to-back, then rejects.
+func TestBucketBurst(t *testing.T) {
+	b := newBucket(1, 3)
+	for i := 0; i < 3; i++ {
+		if ok, _ := b.admit(at(0)); !ok {
+			t.Fatalf("request %d rejected inside the burst", i)
+		}
+	}
+	ok, retry := b.admit(at(0))
+	if ok {
+		t.Fatal("request 3 admitted past the burst")
+	}
+	if retry < time.Second {
+		t.Errorf("Retry-After %v, want >= 1s", retry)
+	}
+}
+
+// TestBucketRefill: tokens accumulate at the configured rate and cap at
+// burst.
+func TestBucketRefill(t *testing.T) {
+	b := newBucket(2, 2) // 2 tokens/sec, cap 2
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.admit(at(0)); !ok {
+			t.Fatalf("burst request %d rejected", i)
+		}
+	}
+	if ok, _ := b.admit(at(100)); ok {
+		t.Fatal("admitted at +100ms: only 0.2 tokens accrued")
+	}
+	// Note the rejected admit above still advanced the refill clock to
+	// +100ms; by +600ms a full token has accrued (0.2 + 0.5*2).
+	if ok, _ := b.admit(at(600)); !ok {
+		t.Fatal("rejected at +600ms: a full token had accrued")
+	}
+	// Idle for 10s: tokens cap at burst (2), not 20.
+	if ok, _ := b.admit(at(10600)); !ok {
+		t.Fatal("rejected after long idle")
+	}
+	if ok, _ := b.admit(at(10600)); !ok {
+		t.Fatal("second capped-burst request rejected")
+	}
+	if ok, _ := b.admit(at(10600)); ok {
+		t.Fatal("third request admitted: burst cap did not hold")
+	}
+}
+
+// TestBucketRejectionOrdering: with one token, the first request wins
+// and subsequent same-instant requests are rejected with monotonically
+// sensible Retry-After hints.
+func TestBucketRejectionOrdering(t *testing.T) {
+	b := newBucket(1, 1)
+	if ok, _ := b.admit(at(0)); !ok {
+		t.Fatal("first request rejected")
+	}
+	_, retry1 := b.admit(at(0))
+	_, retry2 := b.admit(at(0))
+	if retry1 <= 0 || retry2 <= 0 {
+		t.Fatalf("rejections carry no Retry-After: %v, %v", retry1, retry2)
+	}
+	if retry2 < retry1 {
+		t.Errorf("later rejection advised a shorter wait: %v then %v", retry1, retry2)
+	}
+	// After the advised wait, the request is admitted.
+	if ok, _ := b.admit(at(0).Add(retry1)); !ok {
+		t.Fatal("rejected after waiting the advised Retry-After")
+	}
+}
+
+// TestBucketClamp: degenerate configurations are clamped, never divide
+// by zero or admit nothing forever.
+func TestBucketClamp(t *testing.T) {
+	b := newBucket(0, 0)
+	if ok, _ := b.admit(at(0)); !ok {
+		t.Fatal("clamped bucket rejected its first request")
+	}
+	_, retry := b.admit(at(0))
+	if retry <= 0 {
+		t.Fatal("clamped bucket advised a non-positive retry")
+	}
+}

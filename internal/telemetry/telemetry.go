@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -356,6 +357,23 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Histograms[n] = h.Snapshot()
 	}
 	return s
+}
+
+// CounterPrefix returns the counters whose names start with any of the
+// given prefixes — the selection the explain report uses to surface one
+// subsystem's instruments (e.g. "checkpoint.", "serve.") without
+// enumerating every name.
+func (s Snapshot) CounterPrefix(prefixes ...string) map[string]int64 {
+	out := map[string]int64{}
+	for name, v := range s.Counters {
+		for _, p := range prefixes {
+			if strings.HasPrefix(name, p) {
+				out[name] = v
+				break
+			}
+		}
+	}
+	return out
 }
 
 // Names returns the sorted names of all instruments (for tests and
